@@ -1,0 +1,98 @@
+// Command dtree computes exact or approximate probabilities of DNF
+// formulas over discrete random variables using the d-tree algorithm.
+//
+// Usage:
+//
+//	dtree [-eps 0.01] [-relative] [-exact] [-stats] [-mc] [file]
+//
+// The input (a file argument or stdin) uses the dnftext format:
+//
+//	var x 0.3
+//	var v 0.2 0.3 0.5
+//	clause x v=2
+//
+// With -exact (or -eps 0) the exact probability is printed; otherwise an
+// ε-approximation with the chosen error semantics. -mc additionally runs
+// the Karp-Luby/DKLR baseline for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnftext"
+	"repro/internal/mc"
+)
+
+func main() {
+	eps := flag.Float64("eps", 0.01, "allowed error (0 = exact)")
+	relative := flag.Bool("relative", false, "use relative (multiplicative) error instead of absolute")
+	exact := flag.Bool("exact", false, "compute the exact probability")
+	stats := flag.Bool("stats", false, "print d-tree statistics")
+	runMC := flag.Bool("mc", false, "also run the Karp-Luby/DKLR baseline (aconf)")
+	delta := flag.Float64("delta", 0.0001, "failure probability for -mc")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	s, d, err := dnftext.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(d) == 0 {
+		fmt.Println("P = 0 (empty DNF)")
+		return
+	}
+
+	opt := core.Options{Eps: *eps, Kind: core.Absolute}
+	if *relative {
+		opt.Kind = core.Relative
+	}
+	if *exact {
+		opt.Eps = 0
+	}
+
+	start := time.Now()
+	res, err := core.Approx(s, d, opt)
+	elapsed := time.Since(start)
+	if err != nil {
+		fatal(err)
+	}
+	if res.Exact {
+		fmt.Printf("P = %.10g (exact, %v)\n", res.Estimate, elapsed)
+	} else {
+		fmt.Printf("P ≈ %.10g (±%g %s, bounds [%.10g, %.10g], %v)\n",
+			res.Estimate, opt.Eps, opt.Kind, res.Lo, res.Hi, elapsed)
+	}
+	if *stats {
+		fmt.Printf("clauses=%d vars=%d nodes=%d leaves-closed=%d early-stop=%v\n",
+			len(d), len(d.Vars()), res.Nodes, res.LeavesClosed, res.EarlyStop)
+	}
+	if *runMC {
+		epsMC := opt.Eps
+		if epsMC == 0 {
+			epsMC = 0.01
+		}
+		start = time.Now()
+		r := mc.AConf(s, d, mc.AConfOptions{Eps: epsMC, Delta: *delta},
+			rand.New(rand.NewSource(1)))
+		fmt.Printf("aconf ≈ %.10g (ε=%g δ=%g, %d samples, %v)\n",
+			r.Estimate, epsMC, *delta, r.Samples, time.Since(start))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtree:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Figures 6–9 of Section VII) as measured tables.
+//
+// Usage:
+//
+//	experiments [-fig all|6a,6b,6c,7,8,8c,9] [-sf 0.002] [-seed 42]
+//	            [-md] [-dtree-nodes N] [-aconf-samples N]
+//
+// Defaults are scaled down to finish in minutes; raise -sf and the
+// budgets for larger runs. -md emits GitHub markdown (the body of
+// EXPERIMENTS.md's measured sections).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "comma-separated figure ids: 6a,6b,6c,7,8,8c,9,stats or all")
+	sf := flag.Float64("sf", 0, "TPC-H scale factor (default 0.002)")
+	seed := flag.Int64("seed", 0, "generator seed (default 42)")
+	md := flag.Bool("md", false, "emit markdown instead of plain text")
+	dtreeNodes := flag.Int("dtree-nodes", 0, "d-tree node budget (default 3e6)")
+	aconfSamples := flag.Int("aconf-samples", 0, "aconf sample budget (default 3e6)")
+	flag.Parse()
+
+	p := exp.Params{
+		SF: *sf, Seed: *seed,
+		DtreeMaxNodes: *dtreeNodes, AconfMaxSample: *aconfSamples,
+	}
+
+	run := map[string]func() *exp.Table{
+		"6a":    func() *exp.Table { return exp.Fig6a(p) },
+		"6b":    func() *exp.Table { return exp.Fig6b(p) },
+		"6c":    func() *exp.Table { return exp.Fig6c(p) },
+		"7":     func() *exp.Table { return exp.Fig7(p, nil) },
+		"8":     func() *exp.Table { return exp.Fig8(p, nil) },
+		"8c":    func() *exp.Table { return exp.Fig8c(p, nil) },
+		"9":     func() *exp.Table { return exp.Fig9(p, nil) },
+		"stats": func() *exp.Table { return exp.NodeStats(p) },
+	}
+	order := []string{"6a", "6b", "6c", "7", "8", "8c", "9", "stats"}
+
+	var want []string
+	if *fig == "all" {
+		want = order
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			f = strings.TrimSpace(strings.TrimPrefix(f, "fig"))
+			if _, ok := run[f]; !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown figure %q (want %s)\n",
+					f, strings.Join(order, ","))
+				os.Exit(1)
+			}
+			want = append(want, f)
+		}
+	}
+
+	for _, f := range want {
+		t := run[f]()
+		if *md {
+			t.WriteMarkdown(os.Stdout)
+		} else {
+			t.WriteText(os.Stdout)
+		}
+	}
+}

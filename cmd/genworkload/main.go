@@ -1,0 +1,82 @@
+// Command genworkload emits workload lineage DNFs in the dnftext format
+// consumed by cmd/dtree, so the paper's instances can be inspected,
+// shared, and re-run standalone.
+//
+// Usage:
+//
+//	genworkload -w karate-triangle            > karate_t.dnf
+//	genworkload -w clique-triangle -n 10 -p 0.3
+//	genworkload -w tpch-b21 -sf 0.001
+//	genworkload -w tpch-iq6 -sf 0.001
+//
+// Workloads: karate-triangle, karate-p2, karate-s2, dolphins-triangle,
+// clique-triangle, clique-p2, tpch-b1, tpch-b17, tpch-b21, tpch-iq6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dnftext"
+	"repro/internal/formula"
+	"repro/internal/graphs"
+	"repro/internal/tpch"
+)
+
+func main() {
+	workload := flag.String("w", "karate-triangle", "workload name")
+	n := flag.Int("n", 10, "clique size for clique-* workloads")
+	p := flag.Float64("p", 0.3, "edge probability for clique-* workloads")
+	sf := flag.Float64("sf", 0.001, "scale factor for tpch-* workloads")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	var (
+		s *formula.Space
+		d formula.DNF
+	)
+	switch *workload {
+	case "karate-triangle":
+		g := graphs.Karate(0.3, 0.95, *seed)
+		s, d = g.Space(), g.TriangleDNF()
+	case "karate-p2":
+		g := graphs.Karate(0.3, 0.95, *seed)
+		s, d = g.Space(), g.PathDNF(2)
+	case "karate-s2":
+		g := graphs.Karate(0.3, 0.95, *seed)
+		s, d = g.Space(), g.SeparationDNF(0, 33)
+	case "dolphins-triangle":
+		g := graphs.Dolphins(0.5, 0.99, *seed)
+		s, d = g.Space(), g.TriangleDNF()
+	case "clique-triangle":
+		g := graphs.Complete(*n, *p)
+		s, d = g.Space(), g.TriangleDNF()
+	case "clique-p2":
+		g := graphs.Complete(*n, *p)
+		s, d = g.Space(), g.PathDNF(2)
+	case "tpch-b1":
+		db := tpch.Generate(tpch.Config{SF: *sf, ProbHigh: 1, Seed: *seed})
+		s, d = db.Space, db.B1(tpch.MaxDate/2)
+	case "tpch-b17":
+		db := tpch.Generate(tpch.Config{SF: *sf, ProbHigh: 1, Seed: *seed})
+		s, d = db.Space, db.B17(3, 7)
+	case "tpch-b21":
+		db := tpch.Generate(tpch.Config{SF: *sf, ProbHigh: 1, Seed: *seed})
+		s, d = db.Space, db.B21(db.CommonNationKey())
+	case "tpch-iq6":
+		db := tpch.Generate(tpch.Config{SF: *sf, ProbHigh: 1, Seed: *seed})
+		s, d = db.Space, db.IQ6(20, 40, 40)
+	default:
+		fmt.Fprintf(os.Stderr, "genworkload: unknown workload %q\n", *workload)
+		os.Exit(1)
+	}
+	if len(d) == 0 {
+		fmt.Fprintln(os.Stderr, "genworkload: workload produced an empty DNF at this scale")
+		os.Exit(1)
+	}
+	if err := dnftext.Write(os.Stdout, s, d); err != nil {
+		fmt.Fprintln(os.Stderr, "genworkload:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+// Package repro is a from-scratch Go implementation of
+//
+//	Dan Olteanu, Jiewen Huang, Christoph Koch:
+//	"Approximate Confidence Computation in Probabilistic Databases",
+//	ICDE 2010
+//
+// — the d-tree algorithm for deterministic approximate probability
+// computation with error guarantees, together with every substrate its
+// evaluation depends on: a propositional-formula layer over discrete
+// random variables, a lineage-carrying probabilistic-database engine,
+// the Karp-Luby / Dagum-Karp-Luby-Ross Monte Carlo baseline, the SPROUT
+// exact baselines for tractable queries, and the TPC-H / random-graph /
+// social-network workloads of the paper's experiments.
+//
+// This root package re-exports the main entry points; the
+// implementation lives in the internal packages:
+//
+//	internal/formula — variables, clauses, DNFs, probability spaces
+//	internal/core    — d-tree compilation, bounds, ε-approximation
+//	internal/mc      — Karp-Luby estimator, DKLR stopping rule (aconf)
+//	internal/pdb     — probabilistic relations and positive RA
+//	internal/sprout  — safe plans and IQ inequality scans
+//	internal/tpch    — probabilistic TPC-H generator and query suite
+//	internal/graphs  — random graphs and social networks
+//	internal/exp     — the figure-regeneration harness
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for measured reproductions of every figure.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/formula"
+	"repro/internal/mc"
+)
+
+// Core formula types.
+type (
+	// Space is a finite probability distribution defined by independent
+	// discrete random variables.
+	Space = formula.Space
+	// Var identifies a random variable.
+	Var = formula.Var
+	// Atom is an atomic event "Var = Val".
+	Atom = formula.Atom
+	// Clause is a consistent conjunction of atomic events.
+	Clause = formula.Clause
+	// DNF is a disjunction of clauses.
+	DNF = formula.DNF
+)
+
+// Monte Carlo baseline types.
+type (
+	// AConfOptions configures the Karp-Luby/DKLR baseline.
+	AConfOptions = mc.AConfOptions
+	// MCResult is a Monte Carlo estimator outcome.
+	MCResult = mc.Result
+)
+
+// D-tree algorithm types.
+type (
+	// Options configures Approx and Exact.
+	Options = core.Options
+	// Result reports bounds, estimate and statistics.
+	Result = core.Result
+	// ErrorKind selects absolute or relative approximation.
+	ErrorKind = core.ErrorKind
+)
+
+// Error kinds (Definition 5.7).
+const (
+	Absolute = core.Absolute
+	Relative = core.Relative
+)
+
+// Re-exported entry points.
+var (
+	// NewSpace returns an empty probability space.
+	NewSpace = formula.NewSpace
+	// NewClause builds a normalized clause from atoms.
+	NewClause = formula.NewClause
+	// NewDNF builds a normalized DNF.
+	NewDNF = formula.NewDNF
+	// Approx computes an ε-approximation of P(d) with guarantees
+	// (depth-first incremental compilation with leaf closing).
+	Approx = core.Approx
+	// ApproxGlobal is the global largest-interval-first variant.
+	ApproxGlobal = core.ApproxGlobal
+	// Exact computes P(d) exactly via exhaustive d-tree compilation.
+	Exact = core.Exact
+	// ExactProbability is Exact returning only the probability.
+	ExactProbability = core.ExactProbability
+	// Bounds computes the Figure-3 bucket bounds on P(d).
+	Bounds = core.LeafBounds
+	// AConf is the Karp-Luby/DKLR (ε, δ) baseline.
+	AConf = mc.AConf
+)

@@ -1,0 +1,111 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/formula"
+	"repro/internal/graphs"
+	"repro/internal/mc"
+	"repro/internal/obdd"
+	"repro/internal/pdb"
+	"repro/internal/tpch"
+
+	"math/rand"
+)
+
+// TestEndToEndTPCH drives the full stack: generate a probabilistic
+// database, evaluate a query through the declarative builder, compute
+// per-answer confidence with the conf() operator backed by the d-tree
+// algorithm, and cross-check against the SPROUT safe plan.
+func TestEndToEndTPCH(t *testing.T) {
+	db := tpch.Generate(tpch.Config{SF: 0.0006, ProbHigh: 1, Seed: 3})
+
+	q := &pdb.Query{
+		From: []pdb.FromItem{
+			{Rel: db.Supplier},
+			{
+				Rel: db.Lineitem,
+				Select: func(v []pdb.Value) bool {
+					return v[db.Lineitem.MustCol("l_shipdate")] < tpch.MaxDate/3
+				},
+				EquiLeft:  pdb.ColRef{Item: 0, Col: "s_suppkey"},
+				EquiRight: "l_suppkey",
+			},
+		},
+		Project: []pdb.ColRef{{Item: 0, Col: "s_suppkey"}},
+	}
+	answers := q.Evaluate()
+	if len(answers) == 0 {
+		t.Skip("no answers at this scale")
+	}
+
+	confs, err := pdb.Conf(db.Space, answers, pdb.ConfidenceFunc(
+		func(s *formula.Space, d formula.DNF) (float64, error) {
+			res, err := core.Approx(s, d, core.Options{Eps: 0.0001, Kind: core.Absolute})
+			return res.Estimate, err
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := db.SproutQ15(0, tpch.MaxDate/3)
+	byKey := map[pdb.Value]float64{}
+	for _, row := range plan.Rows {
+		byKey[row.Vals[0]] = row.P
+	}
+	for _, c := range confs {
+		want, ok := byKey[c.Vals[0]]
+		if !ok {
+			t.Fatalf("supplier %d missing from safe plan", c.Vals[0])
+		}
+		if math.Abs(c.P-want) > 0.0001+1e-9 {
+			t.Fatalf("supplier %d: conf %v vs safe plan %v", c.Vals[0], c.P, want)
+		}
+	}
+}
+
+// TestFourAlgorithmsAgree runs the four probability-computation engines
+// of the repository (d-tree approximate, d-tree exact, OBDD, Karp-Luby)
+// on one realistic lineage and checks they agree.
+func TestFourAlgorithmsAgree(t *testing.T) {
+	g := graphs.Karate(0.3, 0.95, 5)
+	s := g.Space()
+	d := g.TriangleDNF()
+
+	exact := core.ExactProbability(s, d)
+
+	approx, err := core.Approx(s, d, core.Options{Eps: 0.001, Kind: core.Absolute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(approx.Estimate-exact) > 0.001+1e-9 {
+		t.Fatalf("approx %v vs exact %v", approx.Estimate, exact)
+	}
+
+	global, err := core.ApproxGlobal(s, d, core.Options{Eps: 0.001, Kind: core.Absolute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(global.Estimate-exact) > 0.001+1e-9 {
+		t.Fatalf("global %v vs exact %v", global.Estimate, exact)
+	}
+
+	bdd, err := obdd.Build(s, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bdd.Probability()-exact) > 1e-9 {
+		t.Fatalf("obdd %v vs exact %v", bdd.Probability(), exact)
+	}
+
+	res := mc.AConf(s, d, mc.AConfOptions{Eps: 0.02, Delta: 0.01},
+		rand.New(rand.NewSource(17)))
+	if !res.Converged {
+		t.Fatalf("aconf did not converge in %d samples", res.Samples)
+	}
+	if math.Abs(res.Estimate-exact) > 0.04*exact+1e-9 {
+		t.Fatalf("aconf %v vs exact %v", res.Estimate, exact)
+	}
+}

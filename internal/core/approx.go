@@ -1,0 +1,502 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/formula"
+)
+
+// ErrorKind selects between the two approximation guarantees of
+// Definition 5.7.
+type ErrorKind uint8
+
+// Approximation-error kinds.
+const (
+	// Absolute requires p − ε ≤ p̂ ≤ p + ε.
+	Absolute ErrorKind = iota
+	// Relative requires (1−ε)·p ≤ p̂ ≤ (1+ε)·p.
+	Relative
+)
+
+func (k ErrorKind) String() string {
+	if k == Absolute {
+		return "absolute"
+	}
+	return "relative"
+}
+
+// Options configures the approximation algorithm. The zero value asks for
+// an exact answer (Eps 0) with the paper's default heuristics.
+type Options struct {
+	// Eps is the allowed error (0 ≤ Eps < 1). Eps 0 requests exact
+	// computation, which skips per-leaf bound computation entirely (the
+	// paper's "d-tree(error 0)" configuration).
+	Eps float64
+	// Kind selects absolute or relative error.
+	Kind ErrorKind
+	// Order selects the Shannon-expansion variable order.
+	Order VarOrder
+	// MaxNodes, when positive, bounds the number of d-tree nodes
+	// constructed. When the budget is exhausted the current bounds are
+	// returned with Converged false.
+	MaxNodes int
+	// MaxWork, when positive, bounds the cumulative number of clauses
+	// processed across all decomposition steps — a machine-independent
+	// stand-in for the paper's wall-clock timeout that also limits runs
+	// whose individual leaves are huge.
+	MaxWork int
+
+	// Ablation switches (all false in the paper's configuration).
+	DisableClosing     bool // never close leaves (Section V-D off)
+	DisableSubsumption bool // skip subsumed-clause removal (Fig. 1 step 1 off)
+	DisableBucketSort  bool // skip probability-sorting in LeafBounds
+}
+
+// Result reports the outcome of Approx or Exact.
+type Result struct {
+	// Lo and Hi bound the exact probability: Lo ≤ P(Φ) ≤ Hi.
+	Lo, Hi float64
+	// Estimate is an ε-approximation of P(Φ) when Converged is true.
+	Estimate float64
+	// Nodes is the number of d-tree nodes constructed.
+	Nodes int
+	// LeavesClosed counts leaves discarded by the Theorem 5.12 check.
+	LeavesClosed int
+	// Exact reports Lo == Hi.
+	Exact bool
+	// EarlyStop reports that the Proposition 5.8 condition fired before
+	// the compilation was exhaustive.
+	EarlyStop bool
+	// Converged reports that the requested guarantee was achieved (always
+	// true unless the node budget was exhausted first).
+	Converged bool
+}
+
+// Approx computes an ε-approximation of P(d) by incremental d-tree
+// compilation (Section V-D). It decomposes d depth-first following
+// Figure 1, checking before each node construction whether (1) the current
+// global bounds already satisfy the sufficient ε-approximation condition
+// of Proposition 5.8 (then it stops), or (2) the current leaf can be
+// closed per Theorem 5.12 while still guaranteeing the error bound.
+func Approx(s *formula.Space, d formula.DNF, opt Options) (Result, error) {
+	if opt.Eps == 0 {
+		return Exact(s, d, opt)
+	}
+	st := &state{s: s, opt: opt}
+	f := st.prepare(d)
+	if f.exact {
+		return st.finish(f.lo, f.hi), nil
+	}
+	id := affine{1, 0}
+	lo, hi := st.explore(f, ctx{id, id, id, id})
+	if st.done {
+		lo, hi = st.doneLo, st.doneHi
+	}
+	res := st.finish(lo, hi)
+	if st.budgetHit {
+		return res, ErrBudget
+	}
+	return res, nil
+}
+
+// Exact computes P(d) exactly by exhaustive d-tree compilation without
+// materializing the tree and without computing per-leaf bounds. This is
+// the "d-tree(error 0)" configuration of the experiments; it runs in
+// polynomial time on lineage of tractable queries (Section VI).
+func Exact(s *formula.Space, d formula.DNF, opt Options) (Result, error) {
+	st := &state{s: s, opt: opt}
+	p, err := st.exactRec(d)
+	if err != nil {
+		return Result{Nodes: st.nodes}, err
+	}
+	return Result{
+		Lo: p, Hi: p, Estimate: p,
+		Nodes: st.nodes, Exact: true, Converged: true,
+	}, nil
+}
+
+// ExactProbability is a convenience wrapper around Exact returning just
+// the probability.
+func ExactProbability(s *formula.Space, d formula.DNF) float64 {
+	r, _ := Exact(s, d, Options{})
+	return r.Estimate
+}
+
+// affine is the map x ↦ a·x + b. Bound propagation through every d-tree
+// node kind is affine (with non-negative slope) in any single descendant
+// leaf's bound once all other leaves are fixed — the observation behind
+// Lemma 5.11 — so the global stop and close checks reduce to evaluating
+// four precomposed affine maps, O(1) per check.
+type affine struct{ a, b float64 }
+
+func (f affine) ap(x float64) float64    { return f.a*x + f.b }
+func (f affine) compose(g affine) affine { return affine{f.a * g.a, f.a*g.b + f.b} }
+
+// ctx carries, for the subtree being explored, the affine maps from its
+// (lower, upper) bounds to the d-tree root's (lower, upper) bounds under
+// two policies for leaves not yet explored:
+//
+//	stop policy  — open leaves contribute their heuristic [lo, hi]
+//	               (Proposition 5.8 check on the current partial d-tree);
+//	close policy — open leaves are pinned to their lower bound [lo, lo],
+//	               the bound-space point maximizing the error interval
+//	               (Lemma 5.11), so satisfying the condition here makes
+//	               closing the current leaf safe (Theorem 5.12).
+type ctx struct {
+	sLo, sHi affine // stop policy: root lower / upper
+	cLo, cHi affine // close policy: root lower / upper
+}
+
+type state struct {
+	s   *formula.Space
+	opt Options
+
+	nodes  int
+	work   int
+	closed int
+
+	done           bool
+	doneLo, doneHi float64
+	budgetHit      bool
+}
+
+// frag is a prepared DNF fragment: normalized, subsumption-reduced, with
+// heuristic bounds already computed.
+type frag struct {
+	d      formula.DNF
+	lo, hi float64
+	exact  bool
+}
+
+func (st *state) prepare(d formula.DNF) frag {
+	st.work += len(d)
+	d = d.Normalize()
+	if d.IsTrue() {
+		return frag{d: d, lo: 1, hi: 1, exact: true}
+	}
+	if d.IsFalse() {
+		return frag{d: d, lo: 0, hi: 0, exact: true}
+	}
+	if !st.opt.DisableSubsumption {
+		d = d.RemoveSubsumed()
+	}
+	if len(d) == 1 {
+		p := d[0].Probability(st.s)
+		return frag{d: d, lo: p, hi: p, exact: true}
+	}
+	if len(d) <= incExcMaxClauses {
+		st.work += 1 << len(d)
+		p := inclusionExclusion(st.s, d)
+		return frag{d: d, lo: p, hi: p, exact: true}
+	}
+	lo, hi, ops := leafBounds(st.s, d, !st.opt.DisableBucketSort)
+	st.work += ops
+	return frag{d: d, lo: lo, hi: hi, exact: lo == hi}
+}
+
+func (st *state) cond(lo, hi float64) bool {
+	return ApproxCond(st.opt.Kind, st.opt.Eps, lo, hi)
+}
+
+func (st *state) overBudget() bool {
+	return (st.opt.MaxNodes > 0 && st.nodes >= st.opt.MaxNodes) ||
+		(st.opt.MaxWork > 0 && st.work >= st.opt.MaxWork)
+}
+
+func (st *state) finish(lo, hi float64) Result {
+	lo, hi = clamp01(lo), clamp01(hi)
+	if hi < lo {
+		hi = lo
+	}
+	converged := st.cond(lo, hi) && !st.budgetHit
+	var est float64
+	if converged {
+		est = EstimateFrom(st.opt.Kind, st.opt.Eps, lo, hi)
+	} else {
+		est = (lo + hi) / 2
+	}
+	return Result{
+		Lo: lo, Hi: hi, Estimate: est,
+		Nodes: st.nodes, LeavesClosed: st.closed,
+		Exact: lo == hi, EarlyStop: st.done && !st.budgetHit,
+		Converged: converged,
+	}
+}
+
+// explore refines the fragment f, returning its (possibly still partial)
+// probability bounds. It is the incremental compilation scheme of
+// Section V-D: before constructing the node for f it performs the global
+// stop check and the leaf close check, then decomposes per Figure 1 and
+// recurses on the children depth-first left-to-right, updating the bound
+// contexts with each refined sibling.
+func (st *state) explore(f frag, cx ctx) (lo, hi float64) {
+	st.nodes++
+
+	// (1) Stop check: are the global bounds, with this and all remaining
+	// open leaves at their heuristic bounds, already an ε-approximation?
+	gLo, gHi := cx.sLo.ap(f.lo), cx.sHi.ap(f.hi)
+	if st.cond(gLo, gHi) {
+		st.done = true
+		st.doneLo, st.doneHi = gLo, gHi
+		return f.lo, f.hi
+	}
+	if st.overBudget() {
+		st.done, st.budgetHit = true, true
+		st.doneLo, st.doneHi = gLo, gHi
+		return f.lo, f.hi
+	}
+
+	// (2) Close check (Theorem 5.12): with every open leaf pinned at its
+	// lower bound, would freezing this leaf at [lo, hi] still allow an
+	// ε-approximation after refining the rest? If so, discard the leaf.
+	if !st.opt.DisableClosing {
+		if st.cond(cx.cLo.ap(f.lo), cx.cHi.ap(f.hi)) {
+			st.closed++
+			return f.lo, f.hi
+		}
+	}
+
+	// (3) Decompose per Figure 1.
+	kind, children, mult := st.decompose(f.d)
+
+	// Effective child bounds (scaled by the ⊕ branch weight where
+	// applicable); refined in place as children complete.
+	loArr := make([]float64, len(children))
+	hiArr := make([]float64, len(children))
+	processed := make([]bool, len(children))
+	for i, c := range children {
+		loArr[i], hiArr[i] = mult[i]*c.lo, mult[i]*c.hi
+		processed[i] = c.exact
+	}
+
+	// Refine children in order of decreasing bound-interval width (the
+	// paper refines the leaf with the largest bounds interval first):
+	// wide intervals are where refinement buys the most convergence.
+	order := make([]int, 0, len(children))
+	for i := range children {
+		if !children[i].exact {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa := hiArr[order[a]] - loArr[order[a]]
+		wb := hiArr[order[b]] - loArr[order[b]]
+		return wa > wb
+	})
+	for _, i := range order {
+		if st.done {
+			break
+		}
+		childCx := st.childCtx(cx, kind, mult[i], loArr, hiArr, processed, i)
+		clo, chi := st.explore(children[i], childCx)
+		loArr[i], hiArr[i] = mult[i]*clo, mult[i]*chi
+		processed[i] = true
+	}
+
+	return combine(kind, loArr, hiArr)
+}
+
+// decompose applies the first applicable decomposition of Figure 1 and
+// returns the node kind, the prepared children, and the per-child
+// multiplier (P(x = a) for Shannon branches, 1 otherwise).
+func (st *state) decompose(d formula.DNF) (Kind, []frag, []float64) {
+	if comps := d.Components(); len(comps) > 1 {
+		children := make([]frag, len(comps))
+		mult := make([]float64, len(comps))
+		for i, idx := range comps {
+			children[i] = st.prepare(d.Select(idx))
+			mult[i] = 1
+		}
+		return IndepOr, children, mult
+	}
+	if parts := independentAndParts(st.s, d); parts != nil {
+		children := make([]frag, len(parts))
+		mult := make([]float64, len(parts))
+		for i, p := range parts {
+			children[i] = st.prepare(p)
+			mult[i] = 1
+		}
+		return IndepAnd, children, mult
+	}
+	x := chooseVar(st.s, d, st.opt.Order)
+	var children []frag
+	var mult []float64
+	for a := 0; a < st.s.DomainSize(x); a++ {
+		sub := d.Restrict(x, formula.Val(a))
+		if sub.IsFalse() {
+			continue
+		}
+		st.nodes++ // the {{x=a}} ⊙-companion leaf
+		children = append(children, st.prepare(sub))
+		mult = append(mult, st.s.P(formula.Atom{Var: x, Val: formula.Val(a)}))
+	}
+	return ExclOr, children, mult
+}
+
+// childCtx builds the bound context for child i of a node of the given
+// kind, composing the parent context with the node-local affine maps. For
+// the stop policy, siblings contribute their current [lo, hi]; for the
+// close policy, already-processed siblings contribute their refined
+// (frozen) [lo, hi] while still-open siblings are pinned to [lo, lo].
+func (st *state) childCtx(cx ctx, kind Kind, q float64, loArr, hiArr []float64, processed []bool, i int) ctx {
+	var sL, sU, cL, cU affine
+	switch kind {
+	case ExclOr:
+		var sumLoS, sumHiS, sumLoC, sumHiC float64
+		for j := range loArr {
+			if j == i {
+				continue
+			}
+			sumLoS += loArr[j]
+			sumHiS += hiArr[j]
+			sumLoC += loArr[j]
+			if processed[j] {
+				sumHiC += hiArr[j]
+			} else {
+				sumHiC += loArr[j]
+			}
+		}
+		sL = affine{q, sumLoS}
+		sU = affine{q, sumHiS}
+		cL = affine{q, sumLoC}
+		cU = affine{q, sumHiC}
+	case IndepOr:
+		var pLoS, pHiS, pLoC, pHiC float64 = 1, 1, 1, 1
+		for j := range loArr {
+			if j == i {
+				continue
+			}
+			pLoS *= 1 - loArr[j]
+			pHiS *= 1 - hiArr[j]
+			pLoC *= 1 - loArr[j]
+			if processed[j] {
+				pHiC *= 1 - hiArr[j]
+			} else {
+				pHiC *= 1 - loArr[j]
+			}
+		}
+		// 1 − (1 − q·x)·R  =  q·R·x + (1 − R)
+		sL = affine{q * pLoS, 1 - pLoS}
+		sU = affine{q * pHiS, 1 - pHiS}
+		cL = affine{q * pLoC, 1 - pLoC}
+		cU = affine{q * pHiC, 1 - pHiC}
+	case IndepAnd:
+		var pLoS, pHiS, pLoC, pHiC float64 = 1, 1, 1, 1
+		for j := range loArr {
+			if j == i {
+				continue
+			}
+			pLoS *= loArr[j]
+			pHiS *= hiArr[j]
+			pLoC *= loArr[j]
+			if processed[j] {
+				pHiC *= hiArr[j]
+			} else {
+				pHiC *= loArr[j]
+			}
+		}
+		sL = affine{q * pLoS, 0}
+		sU = affine{q * pHiS, 0}
+		cL = affine{q * pLoC, 0}
+		cU = affine{q * pHiC, 0}
+	default:
+		panic("core: childCtx on leaf")
+	}
+	return ctx{
+		sLo: cx.sLo.compose(sL),
+		sHi: cx.sHi.compose(sU),
+		cLo: cx.cLo.compose(cL),
+		cHi: cx.cHi.compose(cU),
+	}
+}
+
+func combine(kind Kind, loArr, hiArr []float64) (lo, hi float64) {
+	switch kind {
+	case ExclOr:
+		for i := range loArr {
+			lo += loArr[i]
+			hi += hiArr[i]
+		}
+	case IndepOr:
+		ql, qh := 1.0, 1.0
+		for i := range loArr {
+			ql *= 1 - loArr[i]
+			qh *= 1 - hiArr[i]
+		}
+		lo, hi = 1-ql, 1-qh
+	case IndepAnd:
+		lo, hi = 1, 1
+		for i := range loArr {
+			lo *= loArr[i]
+			hi *= hiArr[i]
+		}
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// exactRec is the exhaustive, bounds-free compilation used for Eps 0.
+func (st *state) exactRec(d formula.DNF) (float64, error) {
+	st.nodes++
+	st.work += len(d)
+	if st.overBudget() {
+		st.budgetHit = true
+		return 0, ErrBudget
+	}
+	d = d.Normalize()
+	if d.IsTrue() {
+		return 1, nil
+	}
+	if d.IsFalse() {
+		return 0, nil
+	}
+	if !st.opt.DisableSubsumption {
+		d = d.RemoveSubsumed()
+	}
+	if len(d) == 1 {
+		return d[0].Probability(st.s), nil
+	}
+	if len(d) <= incExcMaxClauses {
+		st.work += 1 << len(d)
+		return inclusionExclusion(st.s, d), nil
+	}
+	if comps := d.Components(); len(comps) > 1 {
+		q := 1.0
+		for _, idx := range comps {
+			p, err := st.exactRec(d.Select(idx))
+			if err != nil {
+				return 0, err
+			}
+			q *= 1 - p
+		}
+		return 1 - q, nil
+	}
+	if parts := independentAndParts(st.s, d); parts != nil {
+		p := 1.0
+		for _, part := range parts {
+			pp, err := st.exactRec(part)
+			if err != nil {
+				return 0, err
+			}
+			p *= pp
+		}
+		return p, nil
+	}
+	x := chooseVar(st.s, d, st.opt.Order)
+	total := 0.0
+	for a := 0; a < st.s.DomainSize(x); a++ {
+		sub := d.Restrict(x, formula.Val(a))
+		if sub.IsFalse() {
+			continue
+		}
+		st.nodes++
+		p, err := st.exactRec(sub)
+		if err != nil {
+			return 0, err
+		}
+		total += st.s.P(formula.Atom{Var: x, Val: formula.Val(a)}) * p
+	}
+	return total, nil
+}

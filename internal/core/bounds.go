@@ -1,0 +1,240 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/formula"
+)
+
+// LeafBounds implements the Independent heuristic of Figure 3: it
+// partitions the DNF into buckets of pairwise-independent clauses, computes
+// the exact probability of each bucket, and returns
+//
+//	lo = max bucket probability,  hi = min(1, sum of bucket probabilities).
+//
+// Both are correct bounds on P(d) (Proposition 5.1). When sortClauses is
+// true, clauses are first sorted descending on marginal probability, which
+// empirically tightens the lower bound (Example 5.2); experiments disable
+// it only for ablation.
+//
+// When the partition produces a single bucket, all clauses are pairwise
+// independent and lo == hi == P(d) exactly.
+func LeafBounds(s *formula.Space, d formula.DNF, sortClauses bool) (lo, hi float64) {
+	lo, hi, _ = leafBounds(s, d, sortClauses)
+	return lo, hi
+}
+
+// leafBounds additionally reports the number of clause-processing
+// operations performed, which the incremental algorithm charges against
+// its work budget (the heuristic is the quadratic part of the paper's
+// cost analysis).
+func leafBounds(s *formula.Space, d formula.DNF, sortClauses bool) (lo, hi float64, ops int) {
+	switch {
+	case d.IsFalse():
+		return 0, 0, 0
+	case d.IsTrue():
+		return 1, 1, 0
+	case len(d) == 1:
+		p := d[0].Probability(s)
+		return p, p, 1
+	}
+
+	probs := make([]float64, len(d))
+	for i, c := range d {
+		probs[i] = c.Probability(s)
+	}
+	order := make([]int, len(d))
+	for i := range order {
+		order[i] = i
+	}
+	if sortClauses {
+		sort.SliceStable(order, func(a, b int) bool { return probs[order[a]] > probs[order[b]] })
+	}
+
+	maxVar := formula.Var(-1)
+	for _, c := range d {
+		if len(c) > 0 && c[len(c)-1].Var > maxVar {
+			maxVar = c[len(c)-1].Var
+		}
+	}
+	inBucket := make([]uint32, maxVar+1) // epoch stamps, one bucket per epoch
+	epoch := uint32(0)
+
+	used := make([]bool, len(d))
+	remaining := len(d)
+	sum := 0.0
+	buckets := 0
+	for remaining > 0 {
+		// Start a bucket with the most probable unused clause, then absorb
+		// every later unused clause independent of the bucket so far.
+		epoch++
+		q := 1.0 // Π (1 − P(clause)) over the bucket
+		started := false
+		for _, i := range order {
+			if used[i] {
+				continue
+			}
+			ops++
+			c := d[i]
+			if started && !disjointStamp(c, inBucket, epoch) {
+				continue
+			}
+			for _, a := range c {
+				inBucket[a.Var] = epoch
+			}
+			q *= 1 - probs[i]
+			used[i] = true
+			remaining--
+			started = true
+		}
+		bp := 1 - q
+		if bp > lo {
+			lo = bp
+		}
+		sum += bp
+		buckets++
+		// Once the bucket sum reaches 1 the upper bound is already
+		// clamped to 1, and the first (greedy, highest-probability)
+		// buckets dominate the lower bound: further partitioning cannot
+		// improve the upper bound, so stop. Bounds remain correct
+		// (Proposition 5.1 holds for any bucket subset with hi = 1).
+		if sum >= 1 && buckets >= 2 && remaining > 0 {
+			return lo, 1, ops
+		}
+	}
+	if buckets == 1 {
+		// All clauses pairwise independent: the bucket probability is exact.
+		return lo, lo, ops
+	}
+	hi = sum
+	if hi > 1 {
+		hi = 1
+	}
+	if hi < lo {
+		hi = lo // numeric guard; mathematically lo ≤ hi always
+	}
+	return lo, hi, ops
+}
+
+// incExcMaxClauses bounds the inclusion-exclusion shortcut: DNFs with at
+// most this many clauses get an exact probability at leaf-preparation
+// time (2^k clause merges), collapsing the deep tail of Shannon
+// enumeration into point intervals. This implements the spirit of
+// Remark 5.3 (better leaf bounds) with an exact, cheap special case.
+const incExcMaxClauses = 6
+
+// inclusionExclusion computes P(d) exactly via
+// P(∨ c_i) = Σ_{∅≠S} (−1)^{|S|+1} P(∧_{i∈S} c_i); inconsistent
+// conjunctions contribute 0. Cost O(2^k · width), allocation-free: the
+// conjunction probability is computed by a k-way merge scan over the
+// (sorted) selected clauses.
+func inclusionExclusion(s *formula.Space, d formula.DNF) float64 {
+	n := len(d)
+	var pos [incExcMaxClauses]int
+	total := 0.0
+	for mask := 1; mask < 1<<n; mask++ {
+		for b := 0; b < n; b++ {
+			pos[b] = 0
+		}
+		p := 1.0
+		ok := true
+		for {
+			// Find the smallest next variable across selected clauses.
+			best := formula.Var(-1)
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) == 0 || pos[b] >= len(d[b]) {
+					continue
+				}
+				if v := d[b][pos[b]].Var; best < 0 || v < best {
+					best = v
+				}
+			}
+			if best < 0 {
+				break
+			}
+			// All selected clauses mentioning best must agree on its value.
+			val := formula.Val(-1)
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) == 0 || pos[b] >= len(d[b]) || d[b][pos[b]].Var != best {
+					continue
+				}
+				if val < 0 {
+					val = d[b][pos[b]].Val
+				} else if d[b][pos[b]].Val != val {
+					ok = false
+				}
+				pos[b]++
+			}
+			if !ok {
+				break
+			}
+			p *= s.P(formula.Atom{Var: best, Val: val})
+		}
+		if !ok {
+			continue
+		}
+		if bitsOnInt(mask)%2 == 1 {
+			total += p
+		} else {
+			total -= p
+		}
+	}
+	return clamp01(total)
+}
+
+func bitsOnInt(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func disjointStamp(c formula.Clause, stamps []uint32, epoch uint32) bool {
+	for _, a := range c {
+		if stamps[a.Var] == epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxCond reports whether bounds [lo, hi] satisfy the sufficient
+// condition of Proposition 5.8 for an ε-approximation:
+//
+//	absolute: hi − lo ≤ 2ε
+//	relative: (1−ε)·hi − (1+ε)·lo ≤ 0
+//
+// A 1e-12 slack absorbs floating-point rounding at exact boundaries
+// (e.g. bounds [0.842, 0.848] with ε = 0.003 in Example 5.9).
+func ApproxCond(kind ErrorKind, eps, lo, hi float64) bool {
+	const tol = 1e-12
+	if kind == Absolute {
+		return hi-lo-2*eps <= tol
+	}
+	return (1-eps)*hi-(1+eps)*lo <= tol
+}
+
+// EstimateFrom returns a value guaranteed to be an ε-approximation given
+// bounds satisfying ApproxCond: the midpoint of the interval of valid
+// ε-approximations from Proposition 5.8, clamped to [0, 1].
+func EstimateFrom(kind ErrorKind, eps, lo, hi float64) float64 {
+	var est float64
+	if kind == Absolute {
+		est = ((hi - eps) + (lo + eps)) / 2 // == (lo+hi)/2
+	} else {
+		est = ((1-eps)*hi + (1+eps)*lo) / 2
+	}
+	return clamp01(est)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

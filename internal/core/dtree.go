@@ -1,0 +1,201 @@
+// Package core implements the paper's primary contribution: compilation of
+// DNF formulas into d-trees (decomposition trees) and deterministic
+// approximate probability computation with error guarantees.
+//
+// A d-tree is a formula built from three kinds of inner nodes over DNF
+// leaves (Definition 4.2):
+//
+//	⊗  independent-or:  children are pairwise independent DNFs whose
+//	    disjunction is the node's formula,
+//	⊙  independent-and: children are pairwise independent DNFs whose
+//	    conjunction is the node's formula,
+//	⊕  exclusive-or:    children are pairwise inconsistent (mutually
+//	    exclusive) formulas; produced by Shannon expansion on a variable.
+//
+// Given exact (or bounded) probabilities at the leaves, the probability
+// (or bounds) of the root is computed in one bottom-up pass:
+//
+//	P(⊗(φ1..φn)) = 1 − Π (1 − P(φi))
+//	P(⊙(φ1..φn)) = Π P(φi)
+//	P(⊕(φ1..φn)) = Σ P(φi)
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/formula"
+)
+
+// Kind enumerates d-tree node kinds.
+type Kind uint8
+
+// Node kinds.
+const (
+	LeafKind Kind = iota // a DNF leaf
+	IndepOr              // ⊗
+	IndepAnd             // ⊙
+	ExclOr               // ⊕ (Shannon expansion)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LeafKind:
+		return "leaf"
+	case IndepOr:
+		return "⊗"
+	case IndepAnd:
+		return "⊙"
+	case ExclOr:
+		return "⊕"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Node is a node of a (partial) d-tree. Leaves hold a DNF; inner nodes
+// hold children. A complete d-tree has only singleton-clause leaves.
+type Node struct {
+	Kind     Kind
+	Children []*Node
+	Leaf     formula.DNF // for LeafKind
+}
+
+// NewLeaf returns a leaf node holding d.
+func NewLeaf(d formula.DNF) *Node { return &Node{Kind: LeafKind, Leaf: d} }
+
+// Complete reports whether the d-tree rooted at n is complete: every leaf
+// holds at most one clause (Definition 4.2).
+func (n *Node) Complete() bool {
+	if n.Kind == LeafKind {
+		return len(n.Leaf) <= 1
+	}
+	for _, c := range n.Children {
+		if !c.Complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the number of nodes in the tree.
+func (n *Node) Size() int {
+	sz := 1
+	for _, c := range n.Children {
+		sz += c.Size()
+	}
+	return sz
+}
+
+// Depth returns the height of the tree (a single node has depth 1).
+func (n *Node) Depth() int {
+	d := 0
+	for _, c := range n.Children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// CountKind returns the number of nodes of kind k in the tree. The paper
+// reports that ~90% of nodes for tractable queries are ⊗ nodes; tests and
+// experiments use this to verify that observation.
+func (n *Node) CountKind(k Kind) int {
+	c := 0
+	if n.Kind == k {
+		c = 1
+	}
+	for _, ch := range n.Children {
+		c += ch.CountKind(k)
+	}
+	return c
+}
+
+// Probability computes the probability of the d-tree in one bottom-up pass
+// (Proposition 4.3), using exact leaf probabilities. For multi-clause
+// leaves the leaf probability is computed by brute force, so Probability
+// is exact on any d-tree but only efficient on (near-)complete ones.
+func (n *Node) Probability(s *formula.Space) float64 {
+	switch n.Kind {
+	case LeafKind:
+		if len(n.Leaf) == 1 {
+			return n.Leaf[0].Probability(s)
+		}
+		return formula.BruteForceProbability(s, n.Leaf)
+	case IndepOr:
+		q := 1.0
+		for _, c := range n.Children {
+			q *= 1 - c.Probability(s)
+		}
+		return 1 - q
+	case IndepAnd:
+		p := 1.0
+		for _, c := range n.Children {
+			p *= c.Probability(s)
+		}
+		return p
+	case ExclOr:
+		p := 0.0
+		for _, c := range n.Children {
+			p += c.Probability(s)
+		}
+		return p
+	}
+	panic("core: unknown node kind")
+}
+
+// Bounds computes lower and upper probability bounds of the d-tree in one
+// bottom-up pass (Section V-B): leaf bounds come from the Independent
+// heuristic, inner nodes combine children bounds monotonically.
+func (n *Node) Bounds(s *formula.Space) (lo, hi float64) {
+	switch n.Kind {
+	case LeafKind:
+		return LeafBounds(s, n.Leaf, true)
+	case IndepOr:
+		ql, qh := 1.0, 1.0
+		for _, c := range n.Children {
+			l, h := c.Bounds(s)
+			ql *= 1 - l
+			qh *= 1 - h
+		}
+		return 1 - ql, 1 - qh
+	case IndepAnd:
+		lo, hi = 1, 1
+		for _, c := range n.Children {
+			l, h := c.Bounds(s)
+			lo *= l
+			hi *= h
+		}
+		return lo, hi
+	case ExclOr:
+		for _, c := range n.Children {
+			l, h := c.Bounds(s)
+			lo += l
+			hi += h
+		}
+		if hi > 1 {
+			hi = 1
+		}
+		return lo, hi
+	}
+	panic("core: unknown node kind")
+}
+
+// String renders the tree structure with variable names from s.
+func (n *Node) String(s *formula.Space) string {
+	var b strings.Builder
+	n.render(s, &b, 0)
+	return b.String()
+}
+
+func (n *Node) render(s *formula.Space, b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	if n.Kind == LeafKind {
+		b.WriteString("{" + n.Leaf.String(s) + "}\n")
+		return
+	}
+	b.WriteString(n.Kind.String() + "\n")
+	for _, c := range n.Children {
+		c.render(s, b, depth+1)
+	}
+}

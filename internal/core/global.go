@@ -1,0 +1,119 @@
+package core
+
+import (
+	"repro/internal/formula"
+)
+
+// ApproxGlobal is the first incremental algorithm sketched in Section
+// V-D: it materializes the partial d-tree, repeatedly recomputes the
+// root bounds, and refines the open leaf with the largest bounds
+// interval until the ε-approximation condition of Proposition 5.8
+// holds. Unlike Approx it keeps every node in memory and performs no
+// leaf closing — it is the paper's motivation for the memory-efficient
+// depth-first variant, retained here as an alternative strategy and an
+// ablation target.
+func ApproxGlobal(s *formula.Space, d formula.DNF, opt Options) (Result, error) {
+	if opt.Eps == 0 {
+		return Exact(s, d, opt)
+	}
+	st := &state{s: s, opt: opt}
+	root := &gNode{frag: st.prepare(d)}
+	for {
+		lo, hi := root.bounds()
+		if st.cond(lo, hi) {
+			res := st.finish(lo, hi)
+			res.EarlyStop = !root.complete()
+			return res, nil
+		}
+		leaf := root.widestLeaf()
+		if leaf == nil {
+			// Tree complete but the condition still unmet: only possible
+			// for eps so tight that float rounding blocks it; the bounds
+			// are exact at this point.
+			res := st.finish(lo, hi)
+			return res, nil
+		}
+		if st.overBudget() {
+			st.budgetHit = true
+			res := st.finish(lo, hi)
+			res.Converged = false
+			return res, ErrBudget
+		}
+		st.refine(leaf)
+	}
+}
+
+// gNode is a mutable node of the materialized partial d-tree.
+type gNode struct {
+	kind     Kind // LeafKind until refined
+	children []*gNode
+	mult     float64 // ⊕ branch weight (P(x=a)); 1 elsewhere
+	frag     frag    // for leaves
+}
+
+func (n *gNode) isLeaf() bool { return len(n.children) == 0 }
+
+// bounds recomputes the node's probability interval bottom-up,
+// including each child's branch weight.
+func (n *gNode) bounds() (lo, hi float64) {
+	if n.isLeaf() {
+		return n.frag.lo, n.frag.hi
+	}
+	loArr := make([]float64, len(n.children))
+	hiArr := make([]float64, len(n.children))
+	for i, c := range n.children {
+		l, h := c.bounds()
+		m := c.mult
+		if m == 0 {
+			m = 1
+		}
+		loArr[i], hiArr[i] = m*l, m*h
+	}
+	return combine(n.kind, loArr, hiArr)
+}
+
+// complete reports whether every leaf is exact.
+func (n *gNode) complete() bool {
+	if n.isLeaf() {
+		return n.frag.exact
+	}
+	for _, c := range n.children {
+		if !c.complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// widestLeaf returns the open leaf with the largest bounds interval, or
+// nil if every leaf is exact.
+func (n *gNode) widestLeaf() *gNode {
+	if n.isLeaf() {
+		if n.frag.exact {
+			return nil
+		}
+		return n
+	}
+	var best *gNode
+	bestW := -1.0
+	for _, c := range n.children {
+		if leaf := c.widestLeaf(); leaf != nil {
+			if w := leaf.frag.hi - leaf.frag.lo; w > bestW {
+				best, bestW = leaf, w
+			}
+		}
+	}
+	return best
+}
+
+// refine decomposes the leaf one level, turning it into an inner node
+// whose children are freshly prepared fragments.
+func (st *state) refine(leaf *gNode) {
+	kind, children, mult := st.decompose(leaf.frag.d)
+	leaf.kind = kind
+	leaf.children = make([]*gNode, len(children))
+	for i, f := range children {
+		leaf.children[i] = &gNode{frag: f, mult: mult[i]}
+	}
+	st.nodes += len(children)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/formula"
+	"repro/internal/randdnf"
+)
+
+func TestGlobalAbsoluteGuarantee(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.01} {
+		for seed := int64(0); seed < 30; seed++ {
+			s, d := randdnf.Generate(randdnf.Default(), seed)
+			want := formula.BruteForceProbability(s, d)
+			res, err := ApproxGlobal(s, d, Options{Eps: eps, Kind: Absolute})
+			if err != nil {
+				t.Fatalf("eps=%v seed=%d: %v", eps, seed, err)
+			}
+			if math.Abs(res.Estimate-want) > eps+1e-9 {
+				t.Fatalf("eps=%v seed=%d: |%v-%v| > ε", eps, seed, res.Estimate, want)
+			}
+		}
+	}
+}
+
+func TestGlobalRelativeGuarantee(t *testing.T) {
+	f := func(seed int64) bool {
+		s, d := genFromSeed(seed)
+		want := formula.BruteForceProbability(s, d)
+		res, err := ApproxGlobal(s, d, Options{Eps: 0.05, Kind: Relative})
+		if err != nil {
+			return false
+		}
+		return res.Estimate >= (1-0.05)*want-1e-9 && res.Estimate <= (1+0.05)*want+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalMatchesDepthFirst(t *testing.T) {
+	// Both variants must produce valid intervals around the same truth;
+	// their estimates may differ but both within ε of it.
+	for seed := int64(0); seed < 25; seed++ {
+		s, d := randdnf.Generate(randdnf.Default(), seed)
+		want := formula.BruteForceProbability(s, d)
+		a, err1 := Approx(s, d, Options{Eps: 0.02, Kind: Absolute})
+		g, err2 := ApproxGlobal(s, d, Options{Eps: 0.02, Kind: Absolute})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d: %v / %v", seed, err1, err2)
+		}
+		if math.Abs(a.Estimate-want) > 0.02+1e-9 || math.Abs(g.Estimate-want) > 0.02+1e-9 {
+			t.Fatalf("seed %d: estimates %v / %v vs %v", seed, a.Estimate, g.Estimate, want)
+		}
+	}
+}
+
+func TestGlobalEpsZeroExact(t *testing.T) {
+	s, d := randdnf.Generate(randdnf.Default(), 9)
+	want := formula.BruteForceProbability(s, d)
+	res, err := ApproxGlobal(s, d, Options{})
+	if err != nil || !res.Exact || math.Abs(res.Estimate-want) > 1e-9 {
+		t.Fatalf("res=%+v err=%v want=%v", res, err, want)
+	}
+}
+
+func TestGlobalBudget(t *testing.T) {
+	s, d := randdnf.Generate(randdnf.Config{
+		Vars: 16, Clauses: 24, MaxWidth: 4, MaxDomain: 2, MinProb: 0.3, MaxProb: 0.7,
+	}, 11)
+	want := formula.BruteForceProbability(s, d)
+	res, err := ApproxGlobal(s, d, Options{Eps: 1e-9, Kind: Absolute, MaxNodes: 10})
+	if err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if res.Lo > want+1e-9 || res.Hi < want-1e-9 {
+		t.Fatalf("budget bounds [%v,%v] miss %v", res.Lo, res.Hi, want)
+	}
+}
+
+func TestGlobalEarlyStopImmediate(t *testing.T) {
+	// Independent clauses: exact bounds at the root, no refinement.
+	s := formula.NewSpace()
+	var d formula.DNF
+	for i := 0; i < 20; i++ {
+		d = append(d, formula.MustClause(formula.Pos(s.AddBool(0.1))))
+	}
+	res, err := ApproxGlobal(s, d, Options{Eps: 0.01, Kind: Relative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 0 {
+		t.Fatalf("refined %d nodes, want 0", res.Nodes)
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/formula"
+	"repro/internal/randdnf"
+)
+
+// Property-based tests (testing/quick) of the algorithm's invariants
+// over randomized inputs.
+
+// genFromSeed derives a random DNF configuration from an arbitrary seed,
+// covering Boolean and multi-valued variables, tags, and clause shapes.
+func genFromSeed(seed int64) (*formula.Space, formula.DNF) {
+	cfg := randdnf.Config{
+		Vars:     4 + int(uint64(seed)%9),    // 4..12
+		Clauses:  2 + int(uint64(seed/7)%8),  // 2..9
+		MaxWidth: 1 + int(uint64(seed/11)%3), // 1..3
+		MinProb:  0.05,
+		MaxProb:  0.95,
+	}
+	if seed%2 == 0 {
+		cfg.MaxDomain = 4
+	}
+	if seed%3 == 0 {
+		cfg.TagEvery = 3
+	}
+	return randdnf.Generate(cfg, seed)
+}
+
+func TestQuickBoundsContainExact(t *testing.T) {
+	f := func(seed int64) bool {
+		s, d := genFromSeed(seed)
+		want := formula.BruteForceProbability(s, d)
+		lo, hi := LeafBounds(s, d, true)
+		return lo <= want+1e-9 && hi >= want-1e-9 && lo >= -1e-12 && hi <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExactEqualsBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		s, d := genFromSeed(seed)
+		want := formula.BruteForceProbability(s, d)
+		res, err := Exact(s, d, Options{})
+		return err == nil && math.Abs(res.Estimate-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAbsoluteGuarantee(t *testing.T) {
+	f := func(seed int64, e uint8) bool {
+		eps := 0.001 + float64(e)/260.0 // 0.001 .. ~0.98
+		s, d := genFromSeed(seed)
+		want := formula.BruteForceProbability(s, d)
+		res, err := Approx(s, d, Options{Eps: eps, Kind: Absolute})
+		if err != nil || !res.Converged {
+			return false
+		}
+		return math.Abs(res.Estimate-want) <= eps+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRelativeGuarantee(t *testing.T) {
+	f := func(seed int64, e uint8) bool {
+		eps := 0.01 + float64(e%80)/100.0 // 0.01 .. 0.80
+		s, d := genFromSeed(seed)
+		want := formula.BruteForceProbability(s, d)
+		res, err := Approx(s, d, Options{Eps: eps, Kind: Relative})
+		if err != nil || !res.Converged {
+			return false
+		}
+		return res.Estimate >= (1-eps)*want-1e-9 && res.Estimate <= (1+eps)*want+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompleteTreeEquivalence(t *testing.T) {
+	// Proposition 4.5: Compile(Φ) ≡ Φ.
+	f := func(seed int64) bool {
+		s, d := genFromSeed(seed)
+		tree := Compile(s, d, OrderAuto)
+		if !tree.Complete() {
+			return false
+		}
+		want := formula.BruteForceProbability(s, d)
+		return math.Abs(tree.Probability(s)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTreeBoundsContainExact(t *testing.T) {
+	// Proposition 5.4 on materialized partial trees (here: complete
+	// trees, whose Bounds still go through the leaf heuristic).
+	f := func(seed int64) bool {
+		s, d := genFromSeed(seed)
+		tree := Compile(s, d, OrderAuto)
+		lo, hi := tree.Bounds(s)
+		want := formula.BruteForceProbability(s, d)
+		return lo <= want+1e-9 && hi >= want-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		s, d := genFromSeed(seed)
+		if len(d) > incExcMaxClauses {
+			d = d[:incExcMaxClauses]
+		}
+		want := formula.BruteForceProbability(s, d)
+		return math.Abs(inclusionExclusion(s, d)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEstimateWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		s, d := genFromSeed(seed)
+		res, err := Approx(s, d, Options{Eps: 0.05, Kind: Absolute})
+		if err != nil {
+			return false
+		}
+		// The reported interval is consistent and the estimate is a
+		// valid ε-approximation of anything inside it.
+		return res.Lo <= res.Hi && res.Estimate >= res.Lo-0.05-1e-9 &&
+			res.Estimate <= res.Hi+0.05+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecompositionInvariance(t *testing.T) {
+	// The probability must be invariant under the ablation switches
+	// (they change exploration, never semantics).
+	f := func(seed int64) bool {
+		s, d := genFromSeed(seed)
+		want := formula.BruteForceProbability(s, d)
+		for _, opt := range []Options{
+			{Eps: 0.01, Kind: Absolute},
+			{Eps: 0.01, Kind: Absolute, DisableSubsumption: true},
+			{Eps: 0.01, Kind: Absolute, DisableClosing: true},
+			{Eps: 0.01, Kind: Absolute, DisableBucketSort: true},
+			{Eps: 0.01, Kind: Absolute, Order: OrderMostFrequent},
+		} {
+			res, err := Approx(s, d, opt)
+			if err != nil || math.Abs(res.Estimate-want) > 0.01+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

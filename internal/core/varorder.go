@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/formula"
+)
+
+// VarOrder selects the variable-elimination strategy for Shannon expansion.
+type VarOrder uint8
+
+// Variable-order strategies.
+const (
+	// OrderAuto first tries the IQ-query rule of Lemma 6.8 (which yields
+	// linear-size complete d-trees for tractable inequality queries) and
+	// falls back to the most-frequent variable. This is the paper's
+	// strategy (Section IV and VI-B).
+	OrderAuto VarOrder = iota
+	// OrderMostFrequent always chooses a variable occurring in the most
+	// clauses (ties broken by smallest id, for determinism).
+	OrderMostFrequent
+)
+
+// chooseVar picks the Shannon-expansion variable for d according to the
+// configured order. d is non-empty and has at least one variable.
+func chooseVar(s *formula.Space, d formula.DNF, order VarOrder) formula.Var {
+	if order == OrderAuto {
+		if v, ok := iqVariable(s, d); ok {
+			return v
+		}
+	}
+	return mostFrequentVar(d)
+}
+
+// mostFrequentVar returns a variable occurring in the most clauses of d.
+func mostFrequentVar(d formula.DNF) formula.Var {
+	counts := make(map[formula.Var]int)
+	for _, c := range d {
+		for _, a := range c {
+			counts[a.Var]++
+		}
+	}
+	best := formula.Var(-1)
+	bestN := -1
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// iqVariable implements the variable choice of Lemma 6.8 for DNFs of IQ
+// queries: it looks for a variable v from relation Ri that occurs in
+// clauses of Φ together with all variables of every other relation Rj.
+// Eliminating such a variable first makes its co-factor subsume Φ|v, which
+// is what keeps the d-tree polynomial for IQ queries (Theorem 6.9).
+//
+// Following the paper, it counts the distinct variables per relation in Φ,
+// then redoes the count restricted to clauses containing a candidate x; if
+// the restricted counts match the unrestricted ones for every relation
+// other than x's own, x is chosen. Candidates are tried in descending
+// frequency so the successful variable (which by construction co-occurs
+// with many variables) is found early.
+func iqVariable(s *formula.Space, d formula.DNF) (formula.Var, bool) {
+	// Total distinct-variable counts per tag; bail out if any variable is
+	// untagged or only one relation is present (the rule needs >= 2).
+	total := make(map[int32]int)
+	seen := make(map[formula.Var]int32)
+	occ := make(map[formula.Var]int)
+	for _, c := range d {
+		for _, a := range c {
+			occ[a.Var]++
+			if _, ok := seen[a.Var]; ok {
+				continue
+			}
+			tag := s.Tag(a.Var)
+			if tag == formula.NoTag {
+				return 0, false
+			}
+			seen[a.Var] = tag
+			total[tag]++
+		}
+	}
+	if len(total) < 2 {
+		return 0, false
+	}
+
+	candidates := make([]formula.Var, 0, len(seen))
+	for v := range seen {
+		candidates = append(candidates, v)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		if occ[a] != occ[b] {
+			return occ[a] > occ[b]
+		}
+		return a < b
+	})
+
+	restricted := make(map[int32]map[formula.Var]struct{}, len(total))
+	for _, x := range candidates {
+		// A variable co-occurring with all others must appear in at least
+		// as many clauses as the largest other relation has variables; a
+		// cheap necessary condition that prunes most candidates.
+		maxOther := 0
+		for tag, n := range total {
+			if tag != seen[x] && n > maxOther {
+				maxOther = n
+			}
+		}
+		if occ[x] < maxOther {
+			continue
+		}
+		for tag := range total {
+			if m := restricted[tag]; m != nil {
+				clear(m)
+			} else {
+				restricted[tag] = make(map[formula.Var]struct{})
+			}
+		}
+		for _, c := range d {
+			if _, ok := c.Lookup(x); !ok {
+				continue
+			}
+			for _, a := range c {
+				restricted[seen[a.Var]][a.Var] = struct{}{}
+			}
+		}
+		ok := true
+		for tag, n := range total {
+			if tag == seen[x] {
+				continue
+			}
+			if len(restricted[tag]) != n {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return x, true
+		}
+	}
+	return 0, false
+}

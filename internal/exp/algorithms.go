@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/formula"
+	"repro/internal/mc"
+)
+
+// Params configures an experiment run. Zero values get Small() defaults.
+type Params struct {
+	SF   float64 // TPC-H scale factor
+	Seed int64
+
+	// Budgets that stand in for the paper's wall-clock timeout: a run
+	// that exhausts its budget is reported as "TO". Both are measured in
+	// clause-processing operations so the cutoff is machine-independent
+	// and scales with lineage size: DtreeMaxNodes caps d-tree nodes and
+	// cumulative clauses processed; AconfMaxSample caps Karp-Luby
+	// clause evaluations (samples × clauses).
+	DtreeMaxNodes  int
+	AconfMaxSample int
+
+	Delta float64 // aconf δ (the paper fixes 0.0001)
+}
+
+// Small returns defaults sized so the full suite finishes in a few
+// minutes on a laptop.
+func Small() Params {
+	return Params{
+		SF:             0.002,
+		Seed:           42,
+		DtreeMaxNodes:  3_000_000,
+		AconfMaxSample: 3_000_000,
+		Delta:          0.0001,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := Small()
+	if p.SF == 0 {
+		p.SF = d.SF
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	if p.DtreeMaxNodes == 0 {
+		p.DtreeMaxNodes = d.DtreeMaxNodes
+	}
+	if p.AconfMaxSample == 0 {
+		p.AconfMaxSample = d.AconfMaxSample
+	}
+	if p.Delta == 0 {
+		p.Delta = d.Delta
+	}
+	return p
+}
+
+// runResult is one algorithm invocation's measurement.
+type runResult struct {
+	est      float64
+	millis   float64
+	ok       bool // converged within budget
+	detail   int  // nodes or samples
+	exact    bool
+	estimate string
+}
+
+func (r runResult) timeCell() string {
+	if !r.ok {
+		return "TO"
+	}
+	return ms(r.millis)
+}
+
+// runDtree measures core.Approx on one DNF.
+func runDtree(s *formula.Space, d formula.DNF, eps float64, kind core.ErrorKind, maxNodes int) runResult {
+	start := time.Now()
+	res, err := core.Approx(s, d, core.Options{Eps: eps, Kind: kind, MaxNodes: maxNodes, MaxWork: 8 * maxNodes})
+	el := time.Since(start)
+	ok := err == nil && res.Converged
+	return runResult{
+		est: res.Estimate, millis: float64(el.Microseconds()) / 1000,
+		ok: ok, detail: res.Nodes, exact: res.Exact, estimate: prob(res.Estimate),
+	}
+}
+
+// runDtreeExact measures the error-0 configuration.
+func runDtreeExact(s *formula.Space, d formula.DNF, maxNodes int) runResult {
+	start := time.Now()
+	res, err := core.Exact(s, d, core.Options{MaxNodes: maxNodes, MaxWork: 8 * maxNodes})
+	el := time.Since(start)
+	return runResult{
+		est: res.Estimate, millis: float64(el.Microseconds()) / 1000,
+		ok: err == nil, detail: res.Nodes, exact: true, estimate: prob(res.Estimate),
+	}
+}
+
+// runAconf measures the Karp-Luby/DKLR baseline.
+func runAconf(s *formula.Space, d formula.DNF, eps, delta float64, maxSamples int, seed int64) runResult {
+	rng := rand.New(rand.NewSource(seed))
+	// The budget is clause evaluations; each Karp-Luby sample costs one
+	// pass over the DNF.
+	samples := maxSamples / max(1, len(d))
+	if samples < 200 {
+		samples = 200
+	}
+	start := time.Now()
+	res := mc.AConf(s, d, mc.AConfOptions{Eps: eps, Delta: delta, MaxSamples: samples}, rng)
+	el := time.Since(start)
+	return runResult{
+		est: res.Estimate, millis: float64(el.Microseconds()) / 1000,
+		ok: res.Converged, detail: res.Samples, estimate: prob(res.Estimate),
+	}
+}
+
+// runMeasured wraps an arbitrary exact computation (SPROUT plans/scans).
+func runMeasured(f func() float64) runResult {
+	start := time.Now()
+	p := f()
+	el := time.Since(start)
+	return runResult{
+		est: p, millis: float64(el.Microseconds()) / 1000,
+		ok: true, exact: true, estimate: prob(p),
+	}
+}
+
+// sumRuns aggregates per-answer runs into a per-query measurement (the
+// paper reports one time per query; multi-answer queries sum their
+// answers' confidence-computation times).
+func sumRuns(rs []runResult) runResult {
+	out := runResult{ok: true, exact: true}
+	for _, r := range rs {
+		out.millis += r.millis
+		out.detail += r.detail
+		out.ok = out.ok && r.ok
+		out.exact = out.exact && r.exact
+	}
+	if n := len(rs); n == 1 {
+		out.est = rs[0].est
+		out.estimate = rs[0].estimate
+	} else {
+		out.estimate = "-"
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// fast returns params small enough for CI-speed smoke runs.
+func fast() Params {
+	return Params{
+		SF:             0.0005,
+		Seed:           42,
+		DtreeMaxNodes:  400_000,
+		AconfMaxSample: 150_000,
+		Delta:          0.01,
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	tab := Fig6a(fast())
+	if len(tab.Rows) != 6 {
+		t.Fatalf("fig6a has %d rows, want 6 queries", len(tab.Rows))
+	}
+	names := []string{"1", "15", "B1", "B6", "B16", "B17"}
+	for i, r := range tab.Rows {
+		if r[0] != names[i] {
+			t.Fatalf("row %d is %q, want %q", i, r[0], names[i])
+		}
+		if len(r) != len(tab.Header) {
+			t.Fatalf("row %d has %d cells, header has %d", i, len(r), len(tab.Header))
+		}
+	}
+	// d-tree(0) and SPROUT are exact: where both report a probability for
+	// Boolean queries they must agree (they are printed from the same
+	// exact computations elsewhere; here just check cells are non-empty).
+	for _, r := range tab.Rows {
+		for j, c := range r {
+			if c == "" {
+				t.Fatalf("empty cell %d in row %v", j, r)
+			}
+		}
+	}
+}
+
+func TestFig6bRuns(t *testing.T) {
+	tab := Fig6b(fast())
+	if len(tab.Rows) != 6 {
+		t.Fatalf("fig6b rows %d", len(tab.Rows))
+	}
+}
+
+func TestFig6cRuns(t *testing.T) {
+	tab := Fig6c(fast())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("fig6c rows %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "IQ B1" || tab.Rows[2][0] != "IQ 6" {
+		t.Fatalf("unexpected query order: %v", tab.Rows)
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	tab := Fig7(fast(), []float64{0.0005, 0.001})
+	if len(tab.Rows) != 8 {
+		t.Fatalf("fig7 rows %d, want 4 queries × 2 SFs", len(tab.Rows))
+	}
+}
+
+func TestFig8Runs(t *testing.T) {
+	tab := Fig8(fast(), []int{6, 8})
+	if len(tab.Rows) != 8 {
+		t.Fatalf("fig8 rows %d, want 2 queries × 2 sizes × 2 probs", len(tab.Rows))
+	}
+}
+
+func TestFig8cRuns(t *testing.T) {
+	tab := Fig8c(fast(), []int{6})
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig8c rows %d", len(tab.Rows))
+	}
+}
+
+func TestFig9Runs(t *testing.T) {
+	tab := Fig9(fast(), []float64{0.05})
+	if len(tab.Rows) != 8 {
+		t.Fatalf("fig9 rows %d, want 2 networks × 4 queries × 1 error", len(tab.Rows))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"longer", "cell"}},
+		Notes:  []string{"a note"},
+	}
+	var text, md strings.Builder
+	tab.WriteText(&text)
+	tab.WriteMarkdown(&md)
+	if !strings.Contains(text.String(), "demo") || !strings.Contains(text.String(), "longer") {
+		t.Fatalf("text output:\n%s", text.String())
+	}
+	if !strings.Contains(md.String(), "| a | b |") || !strings.Contains(md.String(), "_a note_") {
+		t.Fatalf("markdown output:\n%s", md.String())
+	}
+}
+
+func TestMsFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0.5, "0.50ms"},
+		{42, "42.0ms"},
+		{2500, "2.50s"},
+	}
+	for _, tc := range cases {
+		if got := ms(tc.in); got != tc.want {
+			t.Fatalf("ms(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.SF == 0 || p.DtreeMaxNodes == 0 || p.AconfMaxSample == 0 || p.Delta == 0 {
+		t.Fatalf("defaults missing: %+v", p)
+	}
+	p2 := Params{SF: 0.5}.withDefaults()
+	if p2.SF != 0.5 {
+		t.Fatal("explicit SF overridden")
+	}
+}
+
+func TestNodeStatsRuns(t *testing.T) {
+	tab := NodeStats(fast())
+	if len(tab.Rows) < 4 {
+		t.Fatalf("stats rows %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r) != len(tab.Header) {
+			t.Fatalf("row %v has %d cells, header %d", r, len(r), len(tab.Header))
+		}
+	}
+}

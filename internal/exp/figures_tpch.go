@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/formula"
+	"repro/internal/pdb"
+	"repro/internal/tpch"
+)
+
+// Default query parameters shared by the TPC-H figures.
+const (
+	q1Cutoff  = pdb.Value(tpch.MaxDate * 3 / 4)
+	b1Cutoff  = pdb.Value(tpch.MaxDate / 2)
+	q15Lo     = pdb.Value(0)
+	q15Hi     = pdb.Value(tpch.MaxDate / 3)
+	b16Brand  = pdb.Value(5)
+	b16Size   = pdb.Value(25)
+	b17Brand  = pdb.Value(3)
+	b17Cont   = pdb.Value(7)
+	b2Size    = pdb.Value(15)
+	b2Region  = pdb.Value(1)
+	b9TypeMax = pdb.Value(10)
+	b20Brand  = pdb.Value(3)
+	b20Avail  = pdb.Value(50)
+	iqPairE   = 60
+	iqPairD   = 200
+	iqStarE   = 20
+	iqStarD   = 40
+	iqStarC   = 40
+	relErr001 = 0.01
+	relErr005 = 0.05
+)
+
+// tractableQuery bundles one tractable query's lineage and SPROUT plan.
+type tractableQuery struct {
+	name   string
+	dnfs   []formula.DNF
+	sprout func() float64
+}
+
+func tractableQueries(db *tpch.DB) []tractableQuery {
+	answersToDNFs := func(as []pdb.Answer) []formula.DNF {
+		out := make([]formula.DNF, len(as))
+		for i, a := range as {
+			out[i] = a.Lin
+		}
+		return out
+	}
+	return []tractableQuery{
+		{"1", answersToDNFs(db.Q1(q1Cutoff)), func() float64 {
+			t := db.SproutQ1(q1Cutoff)
+			sum := 0.0
+			for _, r := range t.Rows {
+				sum += r.P
+			}
+			return sum
+		}},
+		{"15", answersToDNFs(db.Q15(q15Lo, q15Hi)), func() float64 {
+			t := db.SproutQ15(q15Lo, q15Hi)
+			sum := 0.0
+			for _, r := range t.Rows {
+				sum += r.P
+			}
+			return sum
+		}},
+		{"B1", []formula.DNF{db.B1(b1Cutoff)}, func() float64 { return db.SproutB1(b1Cutoff) }},
+		{"B6", []formula.DNF{db.B6(300, 1200, 2, 6, 30)}, func() float64 { return db.SproutB6(300, 1200, 2, 6, 30) }},
+		{"B16", []formula.DNF{db.B16(b16Brand, b16Size)}, func() float64 { return db.SproutB16(b16Brand, b16Size) }},
+		{"B17", []formula.DNF{db.B17(b17Brand, b17Cont)}, func() float64 { return db.SproutB17(b17Brand, b17Cont) }},
+	}
+}
+
+// fig6Tractable runs Figure 6(a) or 6(b): the six tractable queries
+// under one tuple-probability regime, timed under four algorithms.
+func fig6Tractable(id string, probHigh float64, p Params) *Table {
+	p = p.withDefaults()
+	db := tpch.Generate(tpch.Config{SF: p.SF, ProbHigh: probHigh, Seed: p.Seed})
+	t := &Table{
+		ID: id,
+		Title: fmt.Sprintf("tractable TPC-H queries, SF %g, tuple probs in (0,%g)",
+			p.SF, probHigh),
+		Header: []string{"query", "clauses", "aconf(r.01)", "d-tree(r.01)", "d-tree(0)", "SPROUT", "P (exact)"},
+		Notes: []string{
+			"per-query time = sum over answer tuples of confidence-computation time",
+			"TO = budget exhausted before the guarantee was met",
+		},
+	}
+	for _, q := range tractableQueries(db) {
+		clauses := 0
+		var ac, dt, de []runResult
+		for i, d := range q.dnfs {
+			clauses += len(d)
+			if len(d) == 0 {
+				continue
+			}
+			ac = append(ac, runAconf(db.Space, d, relErr001, p.Delta, p.AconfMaxSample, p.Seed+int64(i)))
+			dt = append(dt, runDtree(db.Space, d, relErr001, core.Relative, p.DtreeMaxNodes))
+			de = append(de, runDtreeExact(db.Space, d, p.DtreeMaxNodes))
+		}
+		sp := runMeasured(q.sprout)
+		sa, sd, se := sumRuns(ac), sumRuns(dt), sumRuns(de)
+		exact := "-"
+		if len(q.dnfs) == 1 {
+			exact = se.estimate
+		}
+		t.Rows = append(t.Rows, []string{
+			q.name, fmt.Sprint(clauses),
+			sa.timeCell(), sd.timeCell(), se.timeCell(), sp.timeCell(), exact,
+		})
+	}
+	return t
+}
+
+// Fig6a reproduces Figure 6(a): tractable queries, probabilities (0,1).
+func Fig6a(p Params) *Table { return fig6Tractable("fig6a", 1.0, p) }
+
+// Fig6b reproduces Figure 6(b): tractable queries, probabilities (0,0.01).
+func Fig6b(p Params) *Table { return fig6Tractable("fig6b", 0.01, p) }
+
+// Fig6c reproduces Figure 6(c): the three IQ inequality queries under
+// aconf, d-tree(rel 0.01), d-tree(0) and the SPROUT inequality scans.
+func Fig6c(p Params) *Table {
+	p = p.withDefaults()
+	db := tpch.Generate(tpch.Config{SF: p.SF, ProbHigh: 1, Seed: p.Seed})
+	type iq struct {
+		name   string
+		dnf    formula.DNF
+		sprout func() float64
+	}
+	queries := []iq{
+		{"IQ B1", db.IQB1(iqPairE, iqPairD), func() float64 { return db.SproutIQB1(iqPairE, iqPairD) }},
+		{"IQ B4", db.IQB4(iqStarE, iqStarD, iqStarC), func() float64 { return db.SproutIQB4(iqStarE, iqStarD, iqStarC) }},
+		{"IQ 6", db.IQ6(iqStarE, iqStarD, iqStarC), func() float64 { return db.SproutIQ6(iqStarE, iqStarD, iqStarC) }},
+	}
+	t := &Table{
+		ID:     "fig6c",
+		Title:  fmt.Sprintf("tractable TPC-H queries with inequality joins, SF %g", p.SF),
+		Header: []string{"query", "clauses", "aconf(r.01)", "d-tree(r.01)", "d-tree(0)", "SPROUT", "P (exact)"},
+	}
+	for _, q := range queries {
+		if len(q.dnf) == 0 {
+			t.Rows = append(t.Rows, []string{q.name, "0", "-", "-", "-", "-", "0"})
+			continue
+		}
+		ac := runAconf(db.Space, q.dnf, relErr001, p.Delta, p.AconfMaxSample, p.Seed)
+		dt := runDtree(db.Space, q.dnf, relErr001, core.Relative, p.DtreeMaxNodes)
+		de := runDtreeExact(db.Space, q.dnf, p.DtreeMaxNodes)
+		sp := runMeasured(q.sprout)
+		t.Rows = append(t.Rows, []string{
+			q.name, fmt.Sprint(len(q.dnf)),
+			ac.timeCell(), dt.timeCell(), de.timeCell(), sp.timeCell(), sp.estimate,
+		})
+	}
+	return t
+}
+
+// Fig7 reproduces Figure 7: the four hard queries over a scale-factor
+// sweep, aconf vs d-tree at relative errors 0.01 and 0.05.
+func Fig7(p Params, sfs []float64) *Table {
+	p = p.withDefaults()
+	if len(sfs) == 0 {
+		sfs = []float64{0.0005, 0.001, 0.002, 0.005}
+	}
+	t := &Table{
+		ID:     "fig7",
+		Title:  "hard TPC-H queries (B2, B9, B20, B21) over scale factors",
+		Header: []string{"query", "SF", "clauses", "aconf(.01)", "aconf(.05)", "d-tree(.01)", "d-tree(.05)", "d-tree est(.01)"},
+	}
+	for _, sf := range sfs {
+		pp := p
+		pp.SF = sf
+		db := tpch.Generate(tpch.Config{SF: sf, ProbHigh: 1, Seed: p.Seed})
+		nat := db.CommonNationKey()
+		queries := []struct {
+			name string
+			dnf  formula.DNF
+		}{
+			{"B2", db.B2(b2Size, b2Region)},
+			{"B9", db.B9(b9TypeMax)},
+			{"B20", db.B20(nat, b20Brand, b20Avail)},
+			{"B21", db.B21(nat)},
+		}
+		for _, q := range queries {
+			if len(q.dnf) == 0 {
+				t.Rows = append(t.Rows, []string{q.name, fmt.Sprint(sf), "0", "-", "-", "-", "-", "0"})
+				continue
+			}
+			a1 := runAconf(db.Space, q.dnf, relErr001, p.Delta, p.AconfMaxSample, p.Seed)
+			a5 := runAconf(db.Space, q.dnf, relErr005, p.Delta, p.AconfMaxSample, p.Seed+1)
+			d1 := runDtree(db.Space, q.dnf, relErr001, core.Relative, p.DtreeMaxNodes)
+			d5 := runDtree(db.Space, q.dnf, relErr005, core.Relative, p.DtreeMaxNodes)
+			t.Rows = append(t.Rows, []string{
+				q.name, fmt.Sprint(sf), fmt.Sprint(len(q.dnf)),
+				a1.timeCell(), a5.timeCell(), d1.timeCell(), d5.timeCell(), d1.estimate,
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,338 @@
+package formula
+
+import (
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// DNF is a disjunction of clauses, treated as a set: Normalize removes
+// duplicates and inconsistent clauses. The empty DNF is the formula
+// "false"; a DNF containing the empty clause is "true".
+type DNF []Clause
+
+// NewDNF builds a normalized DNF from clauses: duplicates removed, each
+// clause already consistent (build them with NewClause).
+func NewDNF(clauses ...Clause) DNF {
+	d := make(DNF, len(clauses))
+	copy(d, clauses)
+	return d.Normalize()
+}
+
+// Normalize removes duplicate clauses, preserving first-occurrence order.
+func (d DNF) Normalize() DNF {
+	seen := make(map[uint64][]int, len(d))
+	out := make(DNF, 0, len(d))
+	for _, c := range d {
+		h := c.Hash()
+		dup := false
+		for _, i := range seen[h] {
+			if out[i].Equal(c) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[h] = append(seen[h], len(out))
+		out = append(out, c)
+	}
+	return out
+}
+
+// IsTrue reports whether d contains the empty clause (d ≡ true).
+func (d DNF) IsTrue() bool {
+	for _, c := range d {
+		if len(c) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsFalse reports whether d has no clauses (d ≡ false).
+func (d DNF) IsFalse() bool { return len(d) == 0 }
+
+// Vars returns the distinct variables of d in increasing order.
+func (d DNF) Vars() []Var {
+	set := make(map[Var]struct{})
+	for _, c := range d {
+		for _, a := range c {
+			set[a.Var] = struct{}{}
+		}
+	}
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumAtoms returns the total number of atoms over all clauses (the "size"
+// of the DNF in the paper's complexity statements).
+func (d DNF) NumAtoms() int {
+	n := 0
+	for _, c := range d {
+		n += len(c)
+	}
+	return n
+}
+
+// RemoveSubsumed returns d with every clause that is subsumed by another
+// clause of d removed (step 1 of the compilation algorithm, Figure 1).
+//
+// For clauses of bounded width k (k is at most the number of joined
+// relations for query lineage) it enumerates the 2^k−2 proper subsets of
+// each clause and checks membership in a hash set, which is near-linear.
+// Wider clauses fall back to pairwise subset tests.
+func (d DNF) RemoveSubsumed() DNF {
+	if len(d) <= 1 {
+		return d
+	}
+	const maxEnumWidth = 12
+	wide := false
+	var widths uint16 // bitmask of clause widths present (width ≤ 15)
+	uniform := true
+	for _, c := range d {
+		if len(c) > maxEnumWidth {
+			wide = true
+			break
+		}
+		widths |= 1 << len(c)
+		if len(c) != len(d[0]) {
+			uniform = false
+		}
+	}
+	if !wide && uniform {
+		// All clauses have the same width: a proper subset is strictly
+		// shorter, so no clause can subsume another (duplicates were
+		// handled by Normalize). This is the common case for join
+		// lineage before Shannon expansion.
+		return d
+	}
+	keep := make([]bool, len(d))
+	if !wide {
+		index := newClauseIndex(d)
+		for i, c := range d {
+			keep[i] = !subsetPresent(c, index, i, widths)
+		}
+	} else {
+		// Pairwise fallback: sort indices by clause length so that a
+		// potential subsumer is visited before the clauses it subsumes.
+		order := make([]int, len(d))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return len(d[order[a]]) < len(d[order[b]]) })
+		for i := range keep {
+			keep[i] = true
+		}
+		for ai := 0; ai < len(order); ai++ {
+			i := order[ai]
+			if !keep[i] {
+				continue
+			}
+			for bi := ai + 1; bi < len(order); bi++ {
+				j := order[bi]
+				if keep[j] && d[i].Subsumes(d[j]) && !d[i].Equal(d[j]) {
+					keep[j] = false
+				}
+			}
+		}
+	}
+	out := make(DNF, 0, len(d))
+	for i, c := range d {
+		if keep[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// subsetPresent reports whether any proper subset of c is a clause of the
+// DNF (by hash lookup with structural verification), or an equal clause
+// appears at an earlier index. Only subset sizes that actually occur as
+// clause widths (the widths bitmask) are enumerated, via Gosper's hack.
+func subsetPresent(c Clause, index *clauseIndex, self int, widths uint16) bool {
+	n := len(c)
+	if n == 0 {
+		return false
+	}
+	// The empty clause subsumes everything but is handled by IsTrue
+	// short-circuits in the compiler. Subset hashes are built from the
+	// atoms' codes.
+	var codes [maxEnumWidthAtoms]uint64
+	for b := 0; b < n; b++ {
+		codes[b] = atomCode(c[b])
+	}
+	for r := 1; r < n; r++ {
+		if widths&(1<<r) == 0 {
+			continue
+		}
+		base := uint64(0x5bd1e995) + uint64(r)*0x100000001b3
+		// Gosper's hack: iterate all n-bit masks with exactly r bits set.
+		for mask := (1 << r) - 1; mask < 1<<n; {
+			h := base
+			for m := mask; m != 0; m &= m - 1 {
+				h ^= codes[bits.TrailingZeros32(uint32(m))]
+			}
+			if index.lookupSubsetHash(h, c, mask) >= 0 {
+				return true
+			}
+			lo := mask & -mask
+			up := mask + lo
+			mask = (((up ^ mask) >> 2) / lo) | up
+		}
+	}
+	if i := index.lookup(c); i >= 0 && i != self {
+		return i < self // duplicate: keep only the first occurrence
+	}
+	return false
+}
+
+const maxEnumWidthAtoms = 12
+
+func bitsOn(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Restrict returns d|v=a: clauses inconsistent with v = a removed, the
+// atom v = a removed from the remaining clauses (Shannon expansion step).
+// The result is not re-normalized; callers that need subsumption removal
+// apply it explicitly.
+func (d DNF) Restrict(v Var, a Val) DNF {
+	out := make(DNF, 0, len(d))
+	for _, c := range d {
+		if r, ok := c.Restrict(v, a); ok {
+			out = append(out, r)
+		}
+	}
+	return out.Normalize()
+}
+
+// Components partitions the clause indices of d into groups whose variable
+// sets are connected in the dependency graph of d (clauses sharing a
+// variable are connected). Each group is an independent sub-DNF; this is
+// the independent-or ⊗ decomposition. Groups are returned in order of
+// their first clause.
+func (d DNF) Components() [][]int {
+	maxVar := Var(-1)
+	for _, c := range d {
+		if len(c) > 0 && c[len(c)-1].Var > maxVar {
+			maxVar = c[len(c)-1].Var
+		}
+	}
+	// Union-find over a dense slice; -1 marks unseen variables.
+	parent := make([]Var, maxVar+1)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var find func(v Var) Var
+	find = func(v Var) Var {
+		if parent[v] < 0 {
+			parent[v] = v
+			return v
+		}
+		if parent[v] == v {
+			return v
+		}
+		r := find(parent[v])
+		parent[v] = r
+		return r
+	}
+	for _, c := range d {
+		for i := 1; i < len(c); i++ {
+			ra, rb := find(c[0].Var), find(c[i].Var)
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+	groups := make(map[Var][]int)
+	var order []Var
+	var empties []int
+	for i, c := range d {
+		if len(c) == 0 {
+			empties = append(empties, i)
+			continue
+		}
+		r := find(c[0].Var)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(order)+len(empties))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	// Empty clauses are independent of everything; each forms its own
+	// component (the compiler short-circuits "true" before reaching here,
+	// but Components stays total).
+	for _, i := range empties {
+		out = append(out, []int{i})
+	}
+	return out
+}
+
+// Select returns the sub-DNF of d with the given clause indices.
+func (d DNF) Select(idx []int) DNF {
+	out := make(DNF, len(idx))
+	for i, j := range idx {
+		out[i] = d[j]
+	}
+	return out
+}
+
+// Clone returns a deep-enough copy of d (clause slices are shared; clauses
+// are immutable by convention).
+func (d DNF) Clone() DNF {
+	out := make(DNF, len(d))
+	copy(out, d)
+	return out
+}
+
+// String renders the DNF with the variable names of s.
+func (d DNF) String(s *Space) string {
+	if len(d) == 0 {
+		return "⊥"
+	}
+	parts := make([]string, len(d))
+	for i, c := range d {
+		if len(c) > 1 {
+			parts[i] = "(" + c.String(s) + ")"
+		} else {
+			parts[i] = c.String(s)
+		}
+	}
+	return strings.Join(parts, " ∨ ")
+}
+
+// Or returns the disjunction of d and e as a normalized DNF.
+func (d DNF) Or(e DNF) DNF {
+	out := make(DNF, 0, len(d)+len(e))
+	out = append(out, d...)
+	out = append(out, e...)
+	return out.Normalize()
+}
+
+// And returns the conjunction of d and e as a normalized DNF (the
+// cross-product of clauses, dropping inconsistent combinations).
+func (d DNF) And(e DNF) DNF {
+	out := make(DNF, 0, len(d)*len(e))
+	for _, c := range d {
+		for _, k := range e {
+			if m, ok := c.Merge(k); ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return out.Normalize()
+}

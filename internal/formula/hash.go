@@ -1,0 +1,87 @@
+package formula
+
+// Order-independent 64-bit hashing of clauses, used for hash-based
+// duplicate detection and subset enumeration. Each atom gets a strong
+// 64-bit code (splitmix64 of its packed representation); a clause's hash
+// is the XOR of its atoms' codes, so subset hashes can be enumerated
+// incrementally without materializing subset clauses. Lookups verify
+// candidates structurally, so hash collisions cost time, not
+// correctness.
+
+// AtomHash returns a well-mixed 64-bit code for an atom; exported for
+// hash-based clause-projection counting in the d-tree factorizer.
+func AtomHash(a Atom) uint64 { return atomCode(a) }
+
+// atomCode returns a well-mixed 64-bit code for an atom.
+func atomCode(a Atom) uint64 {
+	x := uint64(uint32(a.Var))<<32 | uint64(uint32(a.Val))
+	// splitmix64 finalizer.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash returns an order-independent hash of the clause. Equal clauses
+// hash equally; the empty clause hashes to a fixed constant mixed with
+// the length so that {} and unlucky XOR-cancellations stay apart from
+// typical clauses.
+func (c Clause) Hash() uint64 {
+	h := uint64(0x5bd1e995) + uint64(len(c))*0x100000001b3
+	for _, a := range c {
+		h ^= atomCode(a)
+	}
+	return h
+}
+
+// clauseIndex is a hash multimap from clause hash to clause indices,
+// with structural verification on lookup.
+type clauseIndex struct {
+	d DNF
+	m map[uint64][]int
+}
+
+func newClauseIndex(d DNF) *clauseIndex {
+	ci := &clauseIndex{d: d, m: make(map[uint64][]int, len(d))}
+	for i, c := range d {
+		h := c.Hash()
+		ci.m[h] = append(ci.m[h], i)
+	}
+	return ci
+}
+
+// lookup returns the first index of a clause equal to c, or -1.
+func (ci *clauseIndex) lookup(c Clause) int {
+	for _, i := range ci.m[c.Hash()] {
+		if ci.d[i].Equal(c) {
+			return i
+		}
+	}
+	return -1
+}
+
+// lookupSubsetHash returns the first index whose clause equals the given
+// subset of base (described by mask over base's atoms), or -1. The hash
+// is passed in (computed incrementally by the caller); verification
+// compares the stored clause against the masked atoms without
+// allocating.
+func (ci *clauseIndex) lookupSubsetHash(h uint64, base Clause, mask int) int {
+candidates:
+	for _, i := range ci.m[h] {
+		cand := ci.d[i]
+		j := 0
+		for b := 0; b < len(base); b++ {
+			if mask&(1<<b) == 0 {
+				continue
+			}
+			if j >= len(cand) || cand[j] != base[b] {
+				continue candidates
+			}
+			j++
+		}
+		if j == len(cand) {
+			return i
+		}
+	}
+	return -1
+}

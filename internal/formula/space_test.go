@@ -1,0 +1,150 @@
+package formula
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceAddVar(t *testing.T) {
+	s := NewSpace()
+	v := s.AddVar(0.2, 0.3, 0.5)
+	if s.NumVars() != 1 || s.DomainSize(v) != 3 {
+		t.Fatalf("NumVars=%d DomainSize=%d", s.NumVars(), s.DomainSize(v))
+	}
+	if got := s.P(Atom{v, 1}); got != 0.3 {
+		t.Fatalf("P(v=1) = %v", got)
+	}
+}
+
+func TestSpaceAddBool(t *testing.T) {
+	s := NewSpace()
+	x := s.AddBool(0.3)
+	if !close(s.PTrue(x), 0.3) || !close(s.P(Neg(x)), 0.7) {
+		t.Fatalf("PTrue=%v PFalse=%v", s.PTrue(x), s.P(Neg(x)))
+	}
+}
+
+func TestSpacePanicsOnBadDistribution(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{0.5, 0.6},    // sums to 1.1
+		{1.0, 0.0},    // zero-probability atomic event
+		{-0.1, 1.1},   // negative
+		{0.2, 0.3},    // sums to 0.5
+		{math.NaN()},  // NaN
+		{0.5, 0.5, 1}, // sums to 2
+	}
+	for i, dist := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: AddVar(%v) did not panic", i, dist)
+				}
+			}()
+			NewSpace().AddVar(dist...)
+		}()
+	}
+}
+
+func TestSpaceTags(t *testing.T) {
+	s := NewSpace()
+	a := s.AddBool(0.5)
+	b := s.AddBoolTagged(0.5, 7)
+	c := s.AddVarTagged(3, 0.5, 0.5)
+	if s.Tag(a) != NoTag || s.Tag(b) != 7 || s.Tag(c) != 3 {
+		t.Fatalf("tags: %d %d %d", s.Tag(a), s.Tag(b), s.Tag(c))
+	}
+}
+
+func TestSpaceNames(t *testing.T) {
+	s := NewSpace()
+	x := s.AddBool(0.5)
+	y := s.AddBool(0.5)
+	s.SetName(x, "edge1")
+	if s.Name(x) != "edge1" {
+		t.Fatalf("Name = %q", s.Name(x))
+	}
+	if s.Name(y) != "x1" {
+		t.Fatalf("default Name = %q", s.Name(y))
+	}
+}
+
+func TestSpaceValid(t *testing.T) {
+	s := NewSpace()
+	v := s.AddVar(0.5, 0.25, 0.25)
+	cases := []struct {
+		a    Atom
+		want bool
+	}{
+		{Atom{v, 0}, true},
+		{Atom{v, 2}, true},
+		{Atom{v, 3}, false},
+		{Atom{v, -1}, false},
+		{Atom{v + 1, 0}, false},
+		{Atom{-1, 0}, false},
+	}
+	for _, tc := range cases {
+		if got := s.Valid(tc.a); got != tc.want {
+			t.Errorf("Valid(%v) = %v, want %v", tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestBruteForceKnown(t *testing.T) {
+	// P((x ∨ y) for independent booleans) = 1 − (1−px)(1−py).
+	s, vs := boolSpace(t, 0.3, 0.2)
+	x, y := vs[0], vs[1]
+	d := NewDNF(MustClause(Pos(x)), MustClause(Pos(y)))
+	if got := BruteForceProbability(s, d); !close(got, 1-0.7*0.8) {
+		t.Fatalf("P = %v", got)
+	}
+	// Example 5.2 of the paper: exact probability 0.8456.
+	s2 := NewSpace()
+	X, Y, Z, V := s2.AddBool(0.3), s2.AddBool(0.2), s2.AddBool(0.7), s2.AddBool(0.8)
+	phi := NewDNF(
+		MustClause(Pos(X), Pos(Y)),
+		MustClause(Pos(X), Pos(Z)),
+		MustClause(Pos(V)),
+	)
+	if got := BruteForceProbability(s2, phi); math.Abs(got-0.8456) > 1e-12 {
+		t.Fatalf("Example 5.2 exact = %v, want 0.8456", got)
+	}
+}
+
+func TestBruteForceComplement(t *testing.T) {
+	// Probability of x=a events over a full domain partition sums to 1.
+	s := NewSpace()
+	v := s.AddVar(0.1, 0.2, 0.3, 0.4)
+	total := 0.0
+	for a := 0; a < 4; a++ {
+		total += BruteForceProbability(s, NewDNF(MustClause(Atom{v, Val(a)})))
+	}
+	if !close(total, 1) {
+		t.Fatalf("partition sums to %v", total)
+	}
+}
+
+func TestBruteForceProbabilityInUnitInterval(t *testing.T) {
+	f := func(seed int64) bool {
+		s, d := genRandom(seed)
+		p := BruteForceProbability(s, d)
+		// Allow float accumulation slop at the boundaries.
+		return p >= -1e-12 && p <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateWorld(t *testing.T) {
+	_, vs := boolSpace(t, 0.5, 0.5)
+	x, y := vs[0], vs[1]
+	d := NewDNF(MustClause(Pos(x), Neg(y)))
+	if !EvaluateWorld(d, map[Var]Val{x: True, y: False}) {
+		t.Error("world x=1,y=0 should satisfy")
+	}
+	if EvaluateWorld(d, map[Var]Val{x: True, y: True}) {
+		t.Error("world x=1,y=1 should not satisfy")
+	}
+}

@@ -1,0 +1,277 @@
+package graphs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/formula"
+)
+
+func TestCompleteGraphShape(t *testing.T) {
+	g := Complete(5, 0.5)
+	if g.NumEdges() != 10 {
+		t.Fatalf("K5 has %d edges, want 10", g.NumEdges())
+	}
+	if g.Space().NumVars() != 10 {
+		t.Fatalf("%d variables, want 10", g.Space().NumVars())
+	}
+	if _, ok := g.EdgeVar(4, 0); !ok {
+		t.Fatal("edge lookup must be symmetric")
+	}
+	if _, ok := g.EdgeVar(0, 0); ok {
+		t.Fatal("no self loops")
+	}
+}
+
+func TestUniformWorldProbability(t *testing.T) {
+	// With edge probability 1/2, each of the 2^(n(n-1)/2) worlds is
+	// uniform (Section VII-B).
+	g := Complete(4, 0.5)
+	world := make(formula.Clause, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		v, _ := g.EdgeVar(e[0], e[1])
+		world = append(world, formula.Pos(v))
+	}
+	c, ok := formula.NewClause(world...)
+	if !ok {
+		t.Fatal("world clause inconsistent")
+	}
+	if got := c.Probability(g.Space()); math.Abs(got-1.0/64) > 1e-15 {
+		t.Fatalf("world probability %v, want 1/64", got)
+	}
+}
+
+func TestTriangleDNFShape(t *testing.T) {
+	// The paper: a 40-node clique gives 780 variables and 9880 clauses.
+	g := Complete(40, 0.3)
+	d := g.TriangleDNF()
+	if g.NumEdges() != 780 {
+		t.Fatalf("edges %d, want 780", g.NumEdges())
+	}
+	if len(d) != 9880 {
+		t.Fatalf("clauses %d, want C(40,3)=9880", len(d))
+	}
+	for _, c := range d {
+		if len(c) != 3 {
+			t.Fatalf("triangle clause width %d", len(c))
+		}
+	}
+}
+
+func TestTriangleProbabilitySmall(t *testing.T) {
+	g := Complete(4, 0.5)
+	d := g.TriangleDNF()
+	want := formula.BruteForceProbability(g.Space(), d)
+	got, err := core.Approx(g.Space(), d, core.Options{Eps: 0.001, Kind: core.Absolute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Estimate-want) > 0.001+1e-9 {
+		t.Fatalf("triangle P: %v vs brute %v", got.Estimate, want)
+	}
+	// K4 with p=1/2: P(some triangle). Verify against a direct count:
+	// enumerate 2^6 edge subsets.
+	count := 0
+	for mask := 0; mask < 64; mask++ {
+		if hasTriangleMask(4, mask) {
+			count++
+		}
+	}
+	if math.Abs(want-float64(count)/64) > 1e-12 {
+		t.Fatalf("brute %v vs subgraph count %v", want, float64(count)/64)
+	}
+}
+
+// hasTriangleMask interprets mask bits as edges of Complete(n, ·) in the
+// same (u,v) enumeration order and checks for a triangle.
+func hasTriangleMask(n, mask int) bool {
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	idx := 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if mask&(1<<idx) != 0 {
+				adj[u][v], adj[v][u] = true, true
+			}
+			idx++
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				if adj[i][j] && adj[j][k] && adj[i][k] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func TestPath2DNF(t *testing.T) {
+	g := Complete(4, 0.5)
+	d := g.PathDNF(2)
+	// Paths of length 2 in K4: middle node (4 choices) × C(3,2) pairs = 12.
+	if len(d) != 12 {
+		t.Fatalf("path2 clauses %d, want 12", len(d))
+	}
+	want := formula.BruteForceProbability(g.Space(), d)
+	got := core.ExactProbability(g.Space(), d)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("path2 P %v vs %v", got, want)
+	}
+}
+
+func TestPath3DNF(t *testing.T) {
+	g := Complete(4, 0.3)
+	d := g.PathDNF(3)
+	// Simple 3-edge paths in K4: 4!/2 = 12 node orders / ... count:
+	// ordered simple paths a-b-c-d = 4·3·2·1 = 24, halved = 12.
+	if len(d) != 12 {
+		t.Fatalf("path3 clauses %d, want 12", len(d))
+	}
+	for _, c := range d {
+		if len(c) != 3 {
+			t.Fatalf("path3 clause width %d, want 3", len(c))
+		}
+	}
+	want := formula.BruteForceProbability(g.Space(), d)
+	got := core.ExactProbability(g.Space(), d)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("path3 P %v vs %v", got, want)
+	}
+}
+
+func TestPathDNFPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length 4")
+		}
+	}()
+	Complete(4, 0.5).PathDNF(4)
+}
+
+func TestSeparationDNF(t *testing.T) {
+	g := Complete(5, 0.4)
+	d := g.SeparationDNF(0, 4)
+	// Direct edge + 3 two-hop paths.
+	if len(d) != 4 {
+		t.Fatalf("s2 clauses %d, want 4", len(d))
+	}
+	want := formula.BruteForceProbability(g.Space(), d)
+	got := core.ExactProbability(g.Space(), d)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("s2 P %v vs %v", got, want)
+	}
+}
+
+func TestSeparationSparse(t *testing.T) {
+	// Path graph 0-1-2: s2(0,2) has only the two-hop clause.
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}}, []float64{0.5, 0.5})
+	d := g.SeparationDNF(0, 2)
+	if len(d) != 1 || len(d[0]) != 2 {
+		t.Fatalf("s2 lineage %v", d)
+	}
+	if got := core.ExactProbability(g.Space(), d); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("P = %v, want 0.25", got)
+	}
+}
+
+func TestKarate(t *testing.T) {
+	g := Karate(0.3, 0.95, 1)
+	if g.N != 34 || g.NumEdges() != KarateEdgeCount {
+		t.Fatalf("karate: %d nodes, %d edges", g.N, g.NumEdges())
+	}
+	// The Figure 5 sub-network: edges (5,7),(5,11),(6,7),(6,11),(6,17),
+	// (7,17) all exist (1-indexed; 0-indexed here).
+	for _, e := range [][2]int{{4, 6}, {4, 10}, {5, 6}, {5, 10}, {5, 16}, {6, 16}} {
+		if _, ok := g.EdgeVar(e[0], e[1]); !ok {
+			t.Fatalf("karate missing Figure-5 edge %v", e)
+		}
+	}
+	// Probabilities vary and lie in [0.3, 0.95).
+	seen := map[float64]bool{}
+	for _, e := range g.Edges() {
+		v, _ := g.EdgeVar(e[0], e[1])
+		p := g.Space().PTrue(v)
+		if p < 0.3 || p >= 0.95 {
+			t.Fatalf("edge probability %v outside [0.3, 0.95)", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) < 10 {
+		t.Fatal("edge probabilities should vary")
+	}
+}
+
+func TestKarateDeterministic(t *testing.T) {
+	a := Karate(0.3, 0.95, 7)
+	b := Karate(0.3, 0.95, 7)
+	for _, e := range a.Edges() {
+		va, _ := a.EdgeVar(e[0], e[1])
+		vb, _ := b.EdgeVar(e[0], e[1])
+		if a.Space().PTrue(va) != b.Space().PTrue(vb) {
+			t.Fatal("same seed must give same probabilities")
+		}
+	}
+}
+
+func TestDolphins(t *testing.T) {
+	g := Dolphins(0.5, 0.99, 3)
+	if g.N != 62 || g.NumEdges() != 159 {
+		t.Fatalf("dolphins: %d nodes, %d edges; want 62/159", g.N, g.NumEdges())
+	}
+	// Degree distribution must be skewed (preferential attachment):
+	// max degree well above the mean of ~5.1.
+	deg := make([]int, g.N)
+	for _, e := range g.Edges() {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 10 {
+		t.Fatalf("max degree %d; expected a skewed distribution", maxDeg)
+	}
+}
+
+func TestSocialNetworkQueriesRun(t *testing.T) {
+	// Smoke: the four queries of Figure 9 produce sane lineage on the
+	// karate network, and d-tree approximates them.
+	g := Karate(0.3, 0.95, 1)
+	s := g.Space()
+	queries := map[string]formula.DNF{
+		"t":  g.TriangleDNF(),
+		"p2": g.PathDNF(2),
+		"p3": g.PathDNF(3),
+		"s2": g.SeparationDNF(0, 33),
+	}
+	for name, d := range queries {
+		if len(d) == 0 {
+			t.Fatalf("%s: empty lineage", name)
+		}
+		res, err := core.Approx(s, d, core.Options{Eps: 0.05, Kind: core.Relative})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Converged || res.Estimate <= 0 || res.Estimate > 1 {
+			t.Fatalf("%s: result %+v", name, res)
+		}
+	}
+}
+
+func TestFromEdgesRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate edge")
+		}
+	}()
+	FromEdges(3, [][2]int{{0, 1}, {1, 0}}, []float64{0.5, 0.5})
+}

@@ -1,0 +1,174 @@
+package mc
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/formula"
+)
+
+// Result reports an estimator outcome.
+type Result struct {
+	// Estimate is the probability estimate.
+	Estimate float64
+	// Samples is the number of estimator invocations used.
+	Samples int
+	// Converged reports whether the requested guarantee was met within
+	// the sample budget.
+	Converged bool
+}
+
+// AConfOptions configures AConf. The zero value of MaxSamples means the
+// default cap of 50 million estimator calls.
+type AConfOptions struct {
+	Eps        float64 // relative error ε, 0 < ε < 1
+	Delta      float64 // failure probability δ, 0 < δ < 1
+	MaxSamples int
+}
+
+const defaultMaxSamples = 50_000_000
+
+// AConf is the aconf() operator of MayBMS (Section VII-1): an (ε, δ)
+// relative approximation of P(d) combining the fractional Karp-Luby
+// estimator with the Dagum-Karp-Luby-Ross AA optimal stopping
+// algorithm [6]. With probability at least 1−δ the returned estimate is
+// within relative error ε of P(d).
+func AConf(s *formula.Space, d formula.DNF, opt AConfOptions, rng *rand.Rand) Result {
+	d = d.Normalize()
+	if len(d) == 0 {
+		return Result{Estimate: 0, Converged: true}
+	}
+	if d.IsTrue() {
+		return Result{Estimate: 1, Converged: true}
+	}
+	kl := NewKarpLuby(s, d, rng)
+	res := dklr(kl.SampleNormalized, opt)
+	res.Estimate *= kl.Sum()
+	if res.Estimate > 1 {
+		res.Estimate = 1
+	}
+	return res
+}
+
+// dklr runs the AA algorithm of Dagum, Karp, Luby and Ross on a sampler
+// of i.i.d. values in [0, 1] with unknown mean μ > 0, returning an
+// (ε, δ) relative approximation of μ.
+//
+// The three steps follow the published algorithm:
+//  1. a stopping-rule run with parameters (min(1/2, √ε), δ/3) yields a
+//     crude estimate μ̂,
+//  2. μ̂ sizes a variance-estimation run over sample pairs, giving
+//     ρ̂ = max(sample variance, ε·μ̂),
+//  3. ρ̂ and μ̂ size the final averaging run whose mean is returned.
+func dklr(sample func() float64, opt AConfOptions) Result {
+	eps, delta := opt.Eps, opt.Delta
+	budget := opt.MaxSamples
+	if budget <= 0 {
+		budget = defaultMaxSamples
+	}
+	lambda := math.E - 2 // optimal constant of the AA analysis
+	used := 0
+
+	// Step 1: stopping rule SRA(min(1/2, √ε), δ/3).
+	eps1 := math.Min(0.5, math.Sqrt(eps))
+	upsilon1 := 4 * lambda * math.Log(2/(delta/3)) / (eps1 * eps1)
+	threshold := 1 + (1+eps1)*upsilon1
+	sum := 0.0
+	n1 := 0
+	for sum < threshold {
+		if used >= budget {
+			return budgetResult(sum, n1, used)
+		}
+		sum += sample()
+		n1++
+		used++
+	}
+	muHat := threshold / float64(n1)
+
+	// Step 2: variance estimation over N2 sample pairs.
+	upsilon := 4 * lambda * math.Log(2/delta) / (eps * eps)
+	upsilon2 := 2 * (1 + math.Sqrt(eps)) * (1 + 2*math.Sqrt(eps)) *
+		(1 + math.Log(1.5)/math.Log(2/delta)) * upsilon
+	n2 := int(math.Ceil(upsilon2 * eps / muHat))
+	if n2 < 1 {
+		n2 = 1
+	}
+	var s2 float64
+	for i := 0; i < n2; i++ {
+		if used+2 > budget {
+			return budgetResult(muHat*float64(n1), n1, used)
+		}
+		a := sample()
+		b := sample()
+		used += 2
+		s2 += (a - b) * (a - b) / 2
+	}
+	rhoHat := math.Max(s2/float64(n2), eps*muHat)
+
+	// Step 3: final averaging run.
+	n3 := int(math.Ceil(upsilon2 * rhoHat / (muHat * muHat)))
+	if n3 < 1 {
+		n3 = 1
+	}
+	total := 0.0
+	done := 0
+	for i := 0; i < n3; i++ {
+		if used >= budget {
+			return budgetResult(total, done, used)
+		}
+		total += sample()
+		done++
+		used++
+	}
+	return Result{Estimate: total / float64(done), Samples: used, Converged: true}
+}
+
+// budgetResult returns the best-effort mean when the budget runs out.
+func budgetResult(sum float64, n, used int) Result {
+	est := 0.0
+	if n > 0 {
+		est = sum / float64(n)
+	}
+	return Result{Estimate: est, Samples: used, Converged: false}
+}
+
+// NaiveAbsolute is the trivial Monte Carlo sampler for absolute error
+// (Section VII-3 notes that absolute approximation is trivial for Monte
+// Carlo): it draws ⌈ln(2/δ)/(2ε²)⌉ random worlds over the variables of d
+// and returns the satisfaction frequency, a Hoeffding (ε, δ) absolute
+// approximation.
+func NaiveAbsolute(s *formula.Space, d formula.DNF, eps, delta float64, rng *rand.Rand) Result {
+	d = d.Normalize()
+	if len(d) == 0 {
+		return Result{Estimate: 0, Converged: true}
+	}
+	if d.IsTrue() {
+		return Result{Estimate: 1, Converged: true}
+	}
+	vars := d.Vars()
+	n := int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+	assign := make(map[formula.Var]formula.Val, len(vars))
+	hits := 0
+	for i := 0; i < n; i++ {
+		for _, v := range vars {
+			assign[v] = sampleVal(s, v, rng)
+		}
+		if formula.EvaluateWorld(d, assign) {
+			hits++
+		}
+	}
+	return Result{Estimate: float64(hits) / float64(n), Samples: n, Converged: true}
+}
+
+func sampleVal(s *formula.Space, v formula.Var, rng *rand.Rand) formula.Val {
+	u := rng.Float64()
+	acc := 0.0
+	n := s.DomainSize(v)
+	for a := 0; a < n-1; a++ {
+		acc += s.P(formula.Atom{Var: v, Val: formula.Val(a)})
+		if u < acc {
+			return formula.Val(a)
+		}
+	}
+	return formula.Val(n - 1)
+}

@@ -1,0 +1,229 @@
+// Package obdd implements reduced ordered binary decision diagrams over
+// Boolean random variables and linear-time probability computation on
+// them — the representation of Olteanu and Huang, "Using OBDDs for
+// Efficient Query Evaluation on Probabilistic Databases" (SUM 2008),
+// reference [19] of the paper. Section VI-B's tractability results rest
+// on the observation that lineage of hierarchical queries factorizes
+// into one-occurrence form, equivalently has linear-size OBDDs under the
+// right variable order; this package provides that substrate as an
+// independent exact baseline and cross-check for the d-tree compiler.
+package obdd
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/formula"
+)
+
+// ErrNotBoolean is returned when the input DNF mentions a variable with
+// a non-Boolean domain; OBDDs branch two ways.
+var ErrNotBoolean = errors.New("obdd: DNF mentions a non-Boolean variable")
+
+// terminal node ids.
+const (
+	zero = 0 // false
+	one  = 1 // true
+)
+
+// node is an inner OBDD node: test variable order[level]; lo is the
+// child for false, hi for true.
+type node struct {
+	level  int32
+	lo, hi int32
+}
+
+// OBDD is a reduced, ordered BDD over a probability space.
+type OBDD struct {
+	space *formula.Space
+	order []formula.Var // order[level] = variable tested at that level
+	nodes []node        // ids 0 and 1 are the terminals (dummy entries)
+	root  int32
+
+	unique map[node]int32
+}
+
+// Build compiles d into a reduced OBDD using the given variable order
+// (every variable of d must appear in the order exactly once). A nil
+// order uses the variables of d sorted by descending clause frequency —
+// the same default heuristic as the d-tree compiler's Shannon step.
+func Build(s *formula.Space, d formula.DNF, order []formula.Var) (*OBDD, error) {
+	d = d.Normalize()
+	for _, v := range d.Vars() {
+		if s.DomainSize(v) != 2 {
+			return nil, fmt.Errorf("%w: variable %s has domain size %d",
+				ErrNotBoolean, s.Name(v), s.DomainSize(v))
+		}
+	}
+	if order == nil {
+		order = frequencyOrder(d)
+	}
+	pos := make(map[formula.Var]int, len(order))
+	for i, v := range order {
+		if _, dup := pos[v]; dup {
+			return nil, fmt.Errorf("obdd: variable %s repeated in order", s.Name(v))
+		}
+		pos[v] = i
+	}
+	for _, v := range d.Vars() {
+		if _, ok := pos[v]; !ok {
+			return nil, fmt.Errorf("obdd: variable %s of the DNF missing from order", s.Name(v))
+		}
+	}
+	b := &OBDD{
+		space:  s,
+		order:  order,
+		nodes:  make([]node, 2, 64), // terminals
+		unique: make(map[node]int32),
+	}
+	memo := make(map[uint64][]memoEntry)
+	b.root = b.build(d, 0, memo)
+	return b, nil
+}
+
+type memoEntry struct {
+	d  formula.DNF
+	id int32
+}
+
+// build compiles the DNF restricted to variables at or below level.
+func (b *OBDD) build(d formula.DNF, level int, memo map[uint64][]memoEntry) int32 {
+	if d.IsFalse() {
+		return zero
+	}
+	if d.IsTrue() {
+		return one
+	}
+	// Memoize on (level, DNF): restrictions recur heavily across
+	// branches for read-once and hierarchical lineage.
+	h := dnfHash(d) ^ (uint64(level) * 0x9e3779b97f4a7c15)
+	for _, e := range memo[h] {
+		if sameDNF(e.d, d) {
+			return e.id
+		}
+	}
+	// Skip order levels whose variable does not occur in d.
+	v := b.order[level]
+	for !occurs(d, v) {
+		level++
+		v = b.order[level]
+	}
+	loChild := b.build(d.Restrict(v, formula.False).RemoveSubsumed(), level+1, memo)
+	hiChild := b.build(d.Restrict(v, formula.True).RemoveSubsumed(), level+1, memo)
+	id := b.mk(int32(level), loChild, hiChild)
+	memo[h] = append(memo[h], memoEntry{d, id})
+	return id
+}
+
+// mk returns the node (level, lo, hi), reusing an existing one
+// (hash-consing) and eliding redundant tests (lo == hi).
+func (b *OBDD) mk(level, lo, hi int32) int32 {
+	if lo == hi {
+		return lo
+	}
+	n := node{level, lo, hi}
+	if id, ok := b.unique[n]; ok {
+		return id
+	}
+	id := int32(len(b.nodes))
+	b.nodes = append(b.nodes, n)
+	b.unique[n] = id
+	return id
+}
+
+// Size returns the number of inner nodes.
+func (b *OBDD) Size() int { return len(b.nodes) - 2 }
+
+// Probability computes P(formula) in one pass over the diagram:
+// P(node v) = (1−p_v)·P(lo) + p_v·P(hi); skipped variables marginalize
+// out, so no correction is needed.
+func (b *OBDD) Probability() float64 {
+	if b.root == zero {
+		return 0
+	}
+	if b.root == one {
+		return 1
+	}
+	probs := make(map[int32]float64, len(b.nodes))
+	probs[zero] = 0
+	probs[one] = 1
+	var rec func(id int32) float64
+	rec = func(id int32) float64 {
+		if p, ok := probs[id]; ok {
+			return p
+		}
+		n := b.nodes[id]
+		pv := b.space.PTrue(b.order[n.level])
+		p := (1-pv)*rec(n.lo) + pv*rec(n.hi)
+		probs[id] = p
+		return p
+	}
+	return rec(b.root)
+}
+
+// Evaluate runs the diagram on a complete valuation.
+func (b *OBDD) Evaluate(assign map[formula.Var]formula.Val) bool {
+	id := b.root
+	for id != zero && id != one {
+		n := b.nodes[id]
+		if assign[b.order[n.level]] == formula.True {
+			id = n.hi
+		} else {
+			id = n.lo
+		}
+	}
+	return id == one
+}
+
+// frequencyOrder returns d's variables by descending clause frequency
+// (ties by id).
+func frequencyOrder(d formula.DNF) []formula.Var {
+	counts := make(map[formula.Var]int)
+	for _, c := range d {
+		for _, a := range c {
+			counts[a.Var]++
+		}
+	}
+	vars := d.Vars()
+	// Insertion sort by (count desc, id asc); variable counts are small.
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0; j-- {
+			a, bb := vars[j-1], vars[j]
+			if counts[a] > counts[bb] || (counts[a] == counts[bb] && a < bb) {
+				break
+			}
+			vars[j-1], vars[j] = vars[j], vars[j-1]
+		}
+	}
+	return vars
+}
+
+func occurs(d formula.DNF, v formula.Var) bool {
+	for _, c := range d {
+		if _, ok := c.Lookup(v); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func dnfHash(d formula.DNF) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range d {
+		h ^= c.Hash()
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func sameDNF(a, b formula.DNF) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

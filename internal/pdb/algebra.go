@@ -1,0 +1,161 @@
+package pdb
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/formula"
+)
+
+// Select returns the tuples of r satisfying pred, lineage unchanged.
+func Select(r *Relation, pred func(vals []Value) bool) *Relation {
+	out := &Relation{Name: r.Name + "_sel", Cols: r.Cols}
+	for _, t := range r.Tups {
+		if pred(t.Vals) {
+			out.Tups = append(out.Tups, t)
+		}
+	}
+	return out
+}
+
+// EquiJoin hash-joins l and r on l.Cols[lcol] = r.Cols[rcol]. The output
+// schema is l's columns followed by r's; output lineage is the merge of
+// the input clauses, dropping combinations whose lineage is inconsistent
+// (mutually exclusive BID alternatives can never co-exist).
+func EquiJoin(l, r *Relation, lcol, rcol int) *Relation {
+	out := &Relation{
+		Name: l.Name + "⋈" + r.Name,
+		Cols: joinCols(l, r),
+	}
+	index := make(map[Value][]int, len(r.Tups))
+	for i, t := range r.Tups {
+		index[t.Vals[rcol]] = append(index[t.Vals[rcol]], i)
+	}
+	for _, lt := range l.Tups {
+		for _, ri := range index[lt.Vals[lcol]] {
+			rt := r.Tups[ri]
+			if merged, ok := lt.Lin.Merge(rt.Lin); ok {
+				out.Tups = append(out.Tups, Tuple{
+					Vals: concatVals(lt.Vals, rt.Vals),
+					Lin:  merged,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ThetaJoin nested-loop-joins l and r with an arbitrary predicate over
+// the two tuples' values; used for the inequality joins of IQ queries.
+func ThetaJoin(l, r *Relation, pred func(lv, rv []Value) bool) *Relation {
+	out := &Relation{
+		Name: l.Name + "⋈θ" + r.Name,
+		Cols: joinCols(l, r),
+	}
+	for _, lt := range l.Tups {
+		for _, rt := range r.Tups {
+			if !pred(lt.Vals, rt.Vals) {
+				continue
+			}
+			if merged, ok := lt.Lin.Merge(rt.Lin); ok {
+				out.Tups = append(out.Tups, Tuple{
+					Vals: concatVals(lt.Vals, rt.Vals),
+					Lin:  merged,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Answer is one answer tuple with its lineage DNF.
+type Answer struct {
+	Vals []Value
+	Lin  formula.DNF
+}
+
+// GroupProject projects r onto the given column positions and groups
+// equal answer values, collecting the lineage clauses of each group into
+// the answer's DNF (duplicate elimination is what turns clause lineage
+// into disjunctions). Answers are returned sorted by value for
+// determinism.
+func GroupProject(r *Relation, cols []int) []Answer {
+	groups := make(map[string]*Answer)
+	var order []string
+	var keyBuf strings.Builder
+	for _, t := range r.Tups {
+		keyBuf.Reset()
+		vals := make([]Value, len(cols))
+		for i, c := range cols {
+			vals[i] = t.Vals[c]
+			keyBuf.WriteByte('|')
+			writeValue(&keyBuf, t.Vals[c])
+		}
+		k := keyBuf.String()
+		a, ok := groups[k]
+		if !ok {
+			a = &Answer{Vals: vals}
+			groups[k] = a
+			order = append(order, k)
+		}
+		a.Lin = append(a.Lin, t.Lin)
+	}
+	sort.Strings(order)
+	out := make([]Answer, 0, len(order))
+	for _, k := range order {
+		a := groups[k]
+		a.Lin = a.Lin.Normalize()
+		out = append(out, *a)
+	}
+	return out
+}
+
+// BooleanAnswer projects away all columns: the lineage of the Boolean
+// query answer is the DNF of all tuple lineages. The second result
+// reports whether any tuple qualified (an empty relation means the
+// answer is certainly false).
+func BooleanAnswer(r *Relation) (formula.DNF, bool) {
+	if len(r.Tups) == 0 {
+		return nil, false
+	}
+	d := make(formula.DNF, 0, len(r.Tups))
+	for _, t := range r.Tups {
+		d = append(d, t.Lin)
+	}
+	return d.Normalize(), true
+}
+
+// Rename returns r with a new name and column names (for self-joins).
+func Rename(r *Relation, name string, cols []string) *Relation {
+	if len(cols) != len(r.Cols) {
+		panic("pdb: Rename column count mismatch")
+	}
+	return &Relation{Name: name, Cols: cols, Tups: r.Tups}
+}
+
+func joinCols(l, r *Relation) []string {
+	cols := make([]string, 0, len(l.Cols)+len(r.Cols))
+	for _, c := range l.Cols {
+		cols = append(cols, l.Name+"."+c)
+	}
+	for _, c := range r.Cols {
+		cols = append(cols, r.Name+"."+c)
+	}
+	return cols
+}
+
+func concatVals(a, b []Value) []Value {
+	out := make([]Value, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+func writeValue(b *strings.Builder, v Value) {
+	u := uint64(v)
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(u >> (8 * i))
+	}
+	b.Write(buf[:])
+}

@@ -1,0 +1,199 @@
+package pdb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/formula"
+)
+
+func tinyRelations(s *formula.Space) (*Relation, *Relation) {
+	r := NewTupleIndependent(s, "R", []string{"a", "b"},
+		[][]Value{{1, 10}, {2, 20}, {3, 20}},
+		[]float64{0.5, 0.6, 0.7}, 0)
+	t := NewTupleIndependent(s, "T", []string{"b", "c"},
+		[][]Value{{10, 100}, {20, 200}, {20, 300}},
+		[]float64{0.2, 0.3, 0.4}, 1)
+	return r, t
+}
+
+func TestSelect(t *testing.T) {
+	s := formula.NewSpace()
+	r, _ := tinyRelations(s)
+	out := Select(r, func(v []Value) bool { return v[1] == 20 })
+	if out.Len() != 2 {
+		t.Fatalf("selected %d tuples, want 2", out.Len())
+	}
+	for _, tup := range out.Tups {
+		if len(tup.Lin) != 1 {
+			t.Fatal("selection must preserve lineage")
+		}
+	}
+}
+
+func TestEquiJoinLineage(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	j := EquiJoin(r, u, 1, 0)
+	// (1,10)x(10,100); (2,20)x(20,200); (2,20)x(20,300); (3,20)x both.
+	if j.Len() != 5 {
+		t.Fatalf("join produced %d tuples, want 5", j.Len())
+	}
+	for _, tup := range j.Tups {
+		if len(tup.Lin) != 2 {
+			t.Fatalf("joined lineage should have 2 atoms, got %v", tup.Lin)
+		}
+	}
+	if len(j.Cols) != 4 {
+		t.Fatalf("join schema %v", j.Cols)
+	}
+}
+
+func TestEquiJoinDropsInconsistentLineage(t *testing.T) {
+	// Two mutually exclusive BID alternatives can never join.
+	s := formula.NewSpace()
+	blocks := [][]BIDAlternative{{
+		{Vals: []Value{1, 7}, Prob: 0.4},
+		{Vals: []Value{1, 8}, Prob: 0.6},
+	}}
+	b := NewBID(s, "B", []string{"k", "x"}, blocks, 0)
+	j := EquiJoin(b, b, 0, 0) // self-join on key
+	// Of the 4 combinations only the 2 same-alternative pairs survive.
+	if j.Len() != 2 {
+		t.Fatalf("join produced %d tuples, want 2", j.Len())
+	}
+}
+
+func TestThetaJoinInequality(t *testing.T) {
+	s := formula.NewSpace()
+	r := NewTupleIndependent(s, "R", []string{"x"},
+		[][]Value{{1}, {5}}, []float64{0.5, 0.5}, 0)
+	u := NewTupleIndependent(s, "U", []string{"y"},
+		[][]Value{{3}, {7}}, []float64{0.5, 0.5}, 1)
+	j := ThetaJoin(r, u, func(lv, rv []Value) bool { return lv[0] < rv[0] })
+	// pairs: (1,3), (1,7), (5,7)
+	if j.Len() != 3 {
+		t.Fatalf("theta join produced %d tuples, want 3", j.Len())
+	}
+}
+
+func TestGroupProjectBuildsDNF(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	j := EquiJoin(r, u, 1, 0)
+	// Project onto T.c (column 3): c=200 reachable via (2,20) and (3,20).
+	answers := GroupProject(j, []int{3})
+	if len(answers) != 3 {
+		t.Fatalf("got %d answers, want 3", len(answers))
+	}
+	byVal := map[Value]Answer{}
+	for _, a := range answers {
+		byVal[a.Vals[0]] = a
+	}
+	if len(byVal[200].Lin) != 2 {
+		t.Fatalf("answer 200 lineage %v, want 2 clauses", byVal[200].Lin)
+	}
+	if len(byVal[100].Lin) != 1 {
+		t.Fatalf("answer 100 lineage %v, want 1 clause", byVal[100].Lin)
+	}
+	// Confidence of answer 200: (r2∧t2) ∨ (r3∧t2) ∨ ... wait t2,t3 are
+	// distinct T tuples: (2,20,20,200) uses t#1, (3,20,20,200) uses t#1.
+	// P = P((r2 ∨ r3) ∧ t2) = (1-(1-.6)(1-.7))·0.3.
+	want := (1 - 0.4*0.3) * 0.3
+	got := core.ExactProbability(s, byVal[200].Lin)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("answer 200 confidence %v, want %v", got, want)
+	}
+}
+
+func TestBooleanAnswer(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	j := EquiJoin(r, u, 1, 0)
+	lin, any := BooleanAnswer(j)
+	if !any || len(lin) != 5 {
+		t.Fatalf("boolean lineage %v any=%v", lin, any)
+	}
+	empty := &Relation{Name: "empty", Cols: []string{"x"}}
+	if _, any := BooleanAnswer(empty); any {
+		t.Fatal("empty relation should report no answer")
+	}
+}
+
+func TestDeterministicRelation(t *testing.T) {
+	s := formula.NewSpace()
+	d := NewDeterministic("D", []string{"k"}, [][]Value{{1}, {2}})
+	r := NewTupleIndependent(s, "R", []string{"k"}, [][]Value{{1}, {2}}, []float64{0.5, 0.25}, 0)
+	j := EquiJoin(d, r, 0, 0)
+	if j.Len() != 2 {
+		t.Fatalf("join len %d", j.Len())
+	}
+	for _, tup := range j.Tups {
+		if len(tup.Lin) != 1 {
+			t.Fatalf("deterministic side must contribute ⊤, lineage %v", tup.Lin)
+		}
+	}
+}
+
+func TestBIDLeftoverProbability(t *testing.T) {
+	s := formula.NewSpace()
+	blocks := [][]BIDAlternative{{
+		{Vals: []Value{1}, Prob: 0.3},
+		{Vals: []Value{2}, Prob: 0.2},
+	}}
+	b := NewBID(s, "B", []string{"x"}, blocks, 0)
+	if b.Len() != 2 {
+		t.Fatalf("len %d", b.Len())
+	}
+	// The block variable must have a third value carrying the remaining
+	// 0.5 ("no alternative present").
+	v := b.Tups[0].Lin[0].Var
+	if s.DomainSize(v) != 3 {
+		t.Fatalf("domain size %d, want 3", s.DomainSize(v))
+	}
+	p0 := core.ExactProbability(s, formula.NewDNF(b.Tups[0].Lin))
+	p1 := core.ExactProbability(s, formula.NewDNF(b.Tups[1].Lin))
+	if math.Abs(p0-0.3) > 1e-12 || math.Abs(p1-0.2) > 1e-12 {
+		t.Fatalf("alternative probabilities %v, %v", p0, p1)
+	}
+	// Alternatives are mutually exclusive.
+	both := formula.NewDNF(b.Tups[0].Lin).And(formula.NewDNF(b.Tups[1].Lin))
+	if len(both) != 0 {
+		t.Fatalf("alternatives should be inconsistent, got %v", both)
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := formula.NewSpace()
+	r, _ := tinyRelations(s)
+	rr := Rename(r, "R2", []string{"x", "y"})
+	if rr.MustCol("x") != 0 || rr.MustCol("y") != 1 {
+		t.Fatal("renamed columns not found")
+	}
+	if rr.Len() != r.Len() {
+		t.Fatal("rename must preserve tuples")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCol on unknown column should panic")
+		}
+	}()
+	rr.MustCol("nope")
+}
+
+func TestGroupProjectDeterministicOrder(t *testing.T) {
+	s := formula.NewSpace()
+	r := NewTupleIndependent(s, "R", []string{"a"},
+		[][]Value{{3}, {1}, {2}, {1}}, []float64{0.1, 0.2, 0.3, 0.4}, 0)
+	answers := GroupProject(r, []int{0})
+	if len(answers) != 3 {
+		t.Fatalf("got %d answers", len(answers))
+	}
+	if answers[0].Vals[0] != 1 || answers[1].Vals[0] != 2 || answers[2].Vals[0] != 3 {
+		t.Fatalf("order %v %v %v", answers[0].Vals, answers[1].Vals, answers[2].Vals)
+	}
+	if len(answers[0].Lin) != 2 {
+		t.Fatalf("answer 1 should have 2 clauses, got %v", answers[0].Lin)
+	}
+}

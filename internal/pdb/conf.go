@@ -1,0 +1,40 @@
+package pdb
+
+import "repro/internal/formula"
+
+// ConfidenceAlgorithm computes the probability of an answer's lineage —
+// the pluggable core of the conf() operator. Implementations wrap the
+// d-tree algorithm, the Monte Carlo baseline, or the SPROUT plans.
+type ConfidenceAlgorithm interface {
+	Confidence(s *formula.Space, d formula.DNF) (float64, error)
+}
+
+// ConfidenceFunc adapts a function to ConfidenceAlgorithm.
+type ConfidenceFunc func(s *formula.Space, d formula.DNF) (float64, error)
+
+// Confidence implements ConfidenceAlgorithm.
+func (f ConfidenceFunc) Confidence(s *formula.Space, d formula.DNF) (float64, error) {
+	return f(s, d)
+}
+
+// AnswerConf is an answer tuple with its computed confidence.
+type AnswerConf struct {
+	Vals []Value
+	P    float64
+}
+
+// Conf is the conf() operator: it computes the confidence of every
+// answer with the given algorithm. It stops at the first error
+// (typically a budget exhaustion), returning the answers computed so
+// far.
+func Conf(s *formula.Space, answers []Answer, alg ConfidenceAlgorithm) ([]AnswerConf, error) {
+	out := make([]AnswerConf, 0, len(answers))
+	for _, a := range answers {
+		p, err := alg.Confidence(s, a.Lin)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, AnswerConf{Vals: a.Vals, P: p})
+	}
+	return out, nil
+}

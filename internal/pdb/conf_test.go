@@ -1,0 +1,78 @@
+package pdb
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/formula"
+)
+
+func dtreeExactAlg() ConfidenceAlgorithm {
+	return ConfidenceFunc(func(s *formula.Space, d formula.DNF) (float64, error) {
+		res, err := core.Exact(s, d, core.Options{})
+		return res.Estimate, err
+	})
+}
+
+func TestConfOperator(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	answers := GroupProject(EquiJoin(r, u, 1, 0), []int{3})
+	confs, err := Conf(s, answers, dtreeExactAlg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(confs) != len(answers) {
+		t.Fatalf("got %d confidences for %d answers", len(confs), len(answers))
+	}
+	for i, c := range confs {
+		want := formula.BruteForceProbability(s, answers[i].Lin)
+		if math.Abs(c.P-want) > 1e-9 {
+			t.Fatalf("answer %v: %v want %v", c.Vals, c.P, want)
+		}
+	}
+}
+
+func TestConfOperatorApprox(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	answers := GroupProject(EquiJoin(r, u, 1, 0), []int{3})
+	alg := ConfidenceFunc(func(sp *formula.Space, d formula.DNF) (float64, error) {
+		res, err := core.Approx(sp, d, core.Options{Eps: 0.01, Kind: core.Absolute})
+		return res.Estimate, err
+	})
+	confs, err := Conf(s, answers, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range confs {
+		want := formula.BruteForceProbability(s, answers[i].Lin)
+		if math.Abs(c.P-want) > 0.01+1e-9 {
+			t.Fatalf("answer %v: %v want %v±0.01", c.Vals, c.P, want)
+		}
+	}
+}
+
+func TestConfOperatorStopsOnError(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	answers := GroupProject(EquiJoin(r, u, 1, 0), []int{3})
+	boom := errors.New("boom")
+	calls := 0
+	alg := ConfidenceFunc(func(sp *formula.Space, d formula.DNF) (float64, error) {
+		calls++
+		if calls == 2 {
+			return 0, boom
+		}
+		return 0.5, nil
+	})
+	confs, err := Conf(s, answers, alg)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(confs) != 1 {
+		t.Fatalf("kept %d answers before the error, want 1", len(confs))
+	}
+}

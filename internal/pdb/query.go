@@ -1,0 +1,91 @@
+package pdb
+
+import "fmt"
+
+// Query is a declarative conjunctive query over probabilistic relations:
+// a sequence of joined relations (the first is the leading relation,
+// each later one equi- or theta-joined against the accumulated result),
+// per-relation selections, and a final projection. Evaluate produces
+// answer tuples with lineage DNFs — the relational encoding of DNFs the
+// confidence-computation algorithms consume.
+//
+// The evaluator is intentionally simple (left-deep plans, hash joins for
+// equality predicates, nested loops otherwise); it is the query-engine
+// substrate of the experiments, not a query optimizer.
+type Query struct {
+	From    []FromItem
+	Project []ColRef // empty means Boolean query
+}
+
+// FromItem is one relation in the join list.
+type FromItem struct {
+	Rel    *Relation
+	Select func(vals []Value) bool // optional per-relation filter
+
+	// Join conditions against the accumulated left side; nil for the
+	// first item. EquiLeft/EquiRight name an equality column pair; On is
+	// an optional extra predicate over (left accumulated, right) values.
+	EquiLeft  ColRef
+	EquiRight string
+	On        func(left, right []Value) bool
+}
+
+// ColRef names a column of a relation in the join list by item index
+// and column name.
+type ColRef struct {
+	Item int
+	Col  string
+}
+
+// Evaluate runs the query and returns its answers (one per distinct
+// projected value, with grouped lineage). For Boolean queries (empty
+// projection) it returns at most one answer with nil Vals.
+func (q *Query) Evaluate() []Answer {
+	if len(q.From) == 0 {
+		return nil
+	}
+	// Track, for each item, the offset of its columns in the accumulated
+	// schema.
+	offsets := make([]int, len(q.From))
+	acc := q.From[0].Rel
+	if q.From[0].Select != nil {
+		acc = Select(acc, q.From[0].Select)
+	}
+	width := len(acc.Cols)
+	for i := 1; i < len(q.From); i++ {
+		item := q.From[i]
+		right := item.Rel
+		if item.Select != nil {
+			right = Select(right, item.Select)
+		}
+		offsets[i] = width
+		switch {
+		case item.EquiRight != "":
+			lcol := offsets[item.EquiLeft.Item] + q.From[item.EquiLeft.Item].Rel.MustCol(item.EquiLeft.Col)
+			rcol := item.Rel.MustCol(item.EquiRight)
+			acc = EquiJoin(acc, right, lcol, rcol)
+			if item.On != nil {
+				on := item.On
+				w := width
+				acc = Select(acc, func(v []Value) bool { return on(v[:w], v[w:]) })
+			}
+		case item.On != nil:
+			acc = ThetaJoin(acc, right, item.On)
+		default:
+			panic(fmt.Sprintf("pdb: join item %d has no condition", i))
+		}
+		width += len(item.Rel.Cols)
+	}
+	if len(q.Project) == 0 {
+		lin, any := BooleanAnswer(acc)
+		if !any {
+			return nil
+		}
+		return []Answer{{Lin: lin}}
+	}
+	cols := make([]int, len(q.Project))
+	for i, ref := range q.Project {
+		cols[i] = offsets[ref.Item] + q.From[ref.Item].Rel.MustCol(ref.Col)
+	}
+	return GroupProject(acc, cols)
+}

@@ -1,0 +1,160 @@
+package pdb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/formula"
+)
+
+func TestQueryEquiJoinProject(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	q := &Query{
+		From: []FromItem{
+			{Rel: r},
+			{Rel: u, EquiLeft: ColRef{0, "b"}, EquiRight: "b"},
+		},
+		Project: []ColRef{{1, "c"}},
+	}
+	answers := q.Evaluate()
+	// Same result as the hand-built pipeline in TestGroupProjectBuildsDNF.
+	j := EquiJoin(r, u, 1, 0)
+	want := GroupProject(j, []int{3})
+	if len(answers) != len(want) {
+		t.Fatalf("got %d answers, want %d", len(answers), len(want))
+	}
+	for i := range answers {
+		if answers[i].Vals[0] != want[i].Vals[0] {
+			t.Fatalf("answer %d: %v vs %v", i, answers[i].Vals, want[i].Vals)
+		}
+		ga := core.ExactProbability(s, answers[i].Lin)
+		gw := core.ExactProbability(s, want[i].Lin)
+		if math.Abs(ga-gw) > 1e-12 {
+			t.Fatalf("answer %d: conf %v vs %v", i, ga, gw)
+		}
+	}
+}
+
+func TestQueryBoolean(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	q := &Query{
+		From: []FromItem{
+			{Rel: r, Select: func(v []Value) bool { return v[1] == 20 }},
+			{Rel: u, EquiLeft: ColRef{0, "b"}, EquiRight: "b"},
+		},
+	}
+	answers := q.Evaluate()
+	if len(answers) != 1 {
+		t.Fatalf("boolean query returned %d answers", len(answers))
+	}
+	// Manual: rows (2,20),(3,20) joined with (20,200),(20,300).
+	if len(answers[0].Lin) != 4 {
+		t.Fatalf("lineage %d clauses, want 4", len(answers[0].Lin))
+	}
+}
+
+func TestQueryBooleanEmpty(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	q := &Query{
+		From: []FromItem{
+			{Rel: r, Select: func(v []Value) bool { return false }},
+			{Rel: u, EquiLeft: ColRef{0, "b"}, EquiRight: "b"},
+		},
+	}
+	if answers := q.Evaluate(); len(answers) != 0 {
+		t.Fatalf("expected no answers, got %v", answers)
+	}
+}
+
+func TestQueryThetaJoin(t *testing.T) {
+	s := formula.NewSpace()
+	r := NewTupleIndependent(s, "R", []string{"x"},
+		[][]Value{{1}, {5}, {9}}, []float64{0.5, 0.5, 0.5}, 0)
+	u := NewTupleIndependent(s, "U", []string{"y"},
+		[][]Value{{3}, {7}}, []float64{0.5, 0.5}, 1)
+	q := &Query{
+		From: []FromItem{
+			{Rel: r},
+			{Rel: u, On: func(l, rv []Value) bool { return l[0] < rv[0] }},
+		},
+	}
+	answers := q.Evaluate()
+	if len(answers) != 1 {
+		t.Fatal("boolean theta query should have one answer")
+	}
+	// Pairs: (1,3), (1,7), (5,7) -> 3 clauses.
+	if len(answers[0].Lin) != 3 {
+		t.Fatalf("lineage %d clauses, want 3", len(answers[0].Lin))
+	}
+}
+
+func TestQueryEquiWithExtraPredicate(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	q := &Query{
+		From: []FromItem{
+			{Rel: r},
+			{
+				Rel: u, EquiLeft: ColRef{0, "b"}, EquiRight: "b",
+				On: func(l, rv []Value) bool { return rv[1] > 200 },
+			},
+		},
+	}
+	answers := q.Evaluate()
+	if len(answers) != 1 {
+		t.Fatal("want one boolean answer")
+	}
+	// Only c=300 rows qualify: joined with b=20 rows (2 of them).
+	if len(answers[0].Lin) != 2 {
+		t.Fatalf("lineage %d clauses, want 2", len(answers[0].Lin))
+	}
+}
+
+func TestQueryTriangleMatchesManualPipeline(t *testing.T) {
+	// The Figure-5 triangle query expressed declaratively.
+	s := formula.NewSpace()
+	e, vars := figure5(s)
+	q := &Query{
+		From: []FromItem{
+			{Rel: Rename(e, "n1", []string{"u", "v"})},
+			{Rel: Rename(e, "n2", []string{"u", "v"}), EquiLeft: ColRef{0, "v"}, EquiRight: "u"},
+			{
+				Rel: Rename(e, "n3", []string{"u", "v"}),
+				On: func(l, rv []Value) bool {
+					n1u, n2u, n2v := l[0], l[2], l[3]
+					return n2v == rv[1] && n1u == rv[0] && n1u < n2u && n2u < rv[1]
+				},
+			},
+		},
+	}
+	answers := q.Evaluate()
+	if len(answers) != 1 {
+		t.Fatalf("got %d answers", len(answers))
+	}
+	want := formula.MustClause(
+		formula.Pos(vars[2]), formula.Pos(vars[4]), formula.Pos(vars[5]))
+	if len(answers[0].Lin) != 1 || !answers[0].Lin[0].Equal(want) {
+		t.Fatalf("lineage %s", answers[0].Lin.String(s))
+	}
+}
+
+func TestQueryPanicsOnMissingJoinCondition(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Query{From: []FromItem{{Rel: r}, {Rel: u}}}).Evaluate()
+}
+
+func TestQueryEmpty(t *testing.T) {
+	if got := (&Query{}).Evaluate(); got != nil {
+		t.Fatalf("empty query: %v", got)
+	}
+}

@@ -1,0 +1,124 @@
+// Package pdb implements the probabilistic-database substrate the paper's
+// query workloads run on (Section VI-A): tuple-independent and
+// block-independent-disjoint (BID) tables over a shared probability
+// space, and a lineage-carrying positive relational algebra whose
+// answers are DNF formulas — the inputs to confidence computation.
+//
+// Conjunctive query plans keep one lineage clause per intermediate tuple;
+// the final projection groups tuples by answer value, turning the clause
+// sets into answer DNFs, exactly the relational encoding of DNFs the
+// paper assumes.
+package pdb
+
+import (
+	"fmt"
+
+	"repro/internal/formula"
+)
+
+// Value is an attribute value. Workload generators intern strings to
+// integers, so a single machine word per attribute suffices.
+type Value int64
+
+// Tuple is a row with its lineage clause (a conjunction of atomic
+// events). Deterministic tuples carry the empty clause ⊤.
+type Tuple struct {
+	Vals []Value
+	Lin  formula.Clause
+}
+
+// Relation is a named list of tuples over a fixed schema.
+type Relation struct {
+	Name string
+	Cols []string
+	Tups []Tuple
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (r *Relation) ColIndex(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustCol is ColIndex that panics on unknown columns; schema errors in
+// workload definitions are programming errors.
+func (r *Relation) MustCol(name string) int {
+	i := r.ColIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("pdb: relation %s has no column %q", r.Name, name))
+	}
+	return i
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tups) }
+
+// NewDeterministic builds a relation whose tuples are certain (lineage ⊤).
+func NewDeterministic(name string, cols []string, rows [][]Value) *Relation {
+	r := &Relation{Name: name, Cols: cols}
+	for _, row := range rows {
+		r.Tups = append(r.Tups, Tuple{Vals: row})
+	}
+	return r
+}
+
+// NewTupleIndependent builds a tuple-independent relation: each row is
+// present with its own probability, via a fresh Boolean variable tagged
+// with the given relation tag (tags drive ⊙ factorization and the IQ
+// variable order in the d-tree compiler).
+func NewTupleIndependent(s *formula.Space, name string, cols []string, rows [][]Value, probs []float64, tag int32) *Relation {
+	if len(rows) != len(probs) {
+		panic("pdb: rows and probs length mismatch")
+	}
+	r := &Relation{Name: name, Cols: cols}
+	for i, row := range rows {
+		v := s.AddBoolTagged(probs[i], tag)
+		s.SetName(v, fmt.Sprintf("%s#%d", name, i))
+		r.Tups = append(r.Tups, Tuple{Vals: row, Lin: formula.MustClause(formula.Pos(v))})
+	}
+	return r
+}
+
+// BIDAlternative is one alternative of a BID block: a row and its
+// probability. Alternatives of one block are mutually exclusive;
+// distinct blocks are independent.
+type BIDAlternative struct {
+	Vals []Value
+	Prob float64
+}
+
+// NewBID builds a block-independent-disjoint relation (Figure 5(b)). Each
+// block becomes one discrete random variable; alternative i of a block is
+// annotated with the atom (block = i). If a block's probabilities sum to
+// less than 1, the remainder is the (unannotated) probability that no
+// alternative is present.
+func NewBID(s *formula.Space, name string, cols []string, blocks [][]BIDAlternative, tag int32) *Relation {
+	r := &Relation{Name: name, Cols: cols}
+	for bi, block := range blocks {
+		if len(block) == 0 {
+			continue
+		}
+		dist := make([]float64, 0, len(block)+1)
+		sum := 0.0
+		for _, alt := range block {
+			dist = append(dist, alt.Prob)
+			sum += alt.Prob
+		}
+		if rest := 1 - sum; rest > 1e-12 {
+			dist = append(dist, rest)
+		}
+		v := s.AddVarTagged(tag, dist...)
+		s.SetName(v, fmt.Sprintf("%s/blk%d", name, bi))
+		for ai, alt := range block {
+			r.Tups = append(r.Tups, Tuple{
+				Vals: alt.Vals,
+				Lin:  formula.MustClause(formula.Atom{Var: v, Val: formula.Val(ai)}),
+			})
+		}
+	}
+	return r
+}

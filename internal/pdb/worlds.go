@@ -1,0 +1,21 @@
+package pdb
+
+import (
+	"repro/internal/formula"
+)
+
+// Instantiate materializes the deterministic content of r in the given
+// possible world: exactly the tuples whose lineage clause is true under
+// the valuation. This realizes the possible-worlds semantics of
+// Section III directly and lets integration tests cross-check
+// lineage-based confidence computation against running the query on
+// sampled worlds.
+func Instantiate(r *Relation, world map[formula.Var]formula.Val) *Relation {
+	out := &Relation{Name: r.Name, Cols: r.Cols}
+	for _, t := range r.Tups {
+		if formula.EvaluateClause(t.Lin, world) {
+			out.Tups = append(out.Tups, Tuple{Vals: t.Vals})
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+// Package randdnf generates random probability spaces and DNF formulas
+// for property-based tests and benchmarks. All generation is deterministic
+// given the seed.
+package randdnf
+
+import (
+	"math/rand"
+
+	"repro/internal/formula"
+)
+
+// Config controls random DNF generation.
+type Config struct {
+	Vars       int     // number of random variables
+	Clauses    int     // number of clauses
+	MaxWidth   int     // maximum atoms per clause (at least 1)
+	MaxDomain  int     // maximum domain size (2 = Boolean only)
+	MinProb    float64 // lower bound of atomic probabilities for Booleans
+	MaxProb    float64 // upper bound
+	TagEvery   int     // if > 0, assign tag v % TagEvery to variable v
+	ForceWidth bool    // make every clause exactly MaxWidth wide
+}
+
+// Default returns a small Boolean configuration suitable for exhaustive
+// brute-force checking (≤ ~16 variables).
+func Default() Config {
+	return Config{Vars: 8, Clauses: 6, MaxWidth: 3, MaxDomain: 2, MinProb: 0.05, MaxProb: 0.95}
+}
+
+// Generate builds a space and DNF from the configuration and seed.
+func Generate(cfg Config, seed int64) (*formula.Space, formula.DNF) {
+	rng := rand.New(rand.NewSource(seed))
+	if cfg.MaxWidth < 1 {
+		cfg.MaxWidth = 1
+	}
+	if cfg.MaxDomain < 2 {
+		cfg.MaxDomain = 2
+	}
+	if cfg.MinProb <= 0 {
+		cfg.MinProb = 0.05
+	}
+	if cfg.MaxProb <= cfg.MinProb {
+		cfg.MaxProb = cfg.MinProb + 0.5
+		if cfg.MaxProb >= 1 {
+			cfg.MaxProb = 0.99
+		}
+	}
+	s := formula.NewSpace()
+	vars := make([]formula.Var, cfg.Vars)
+	for i := range vars {
+		dom := 2
+		if cfg.MaxDomain > 2 {
+			dom = 2 + rng.Intn(cfg.MaxDomain-1)
+		}
+		dist := randomDist(rng, dom, cfg.MinProb)
+		var v formula.Var
+		if cfg.TagEvery > 0 {
+			v = s.AddVarTagged(int32(i%cfg.TagEvery), dist...)
+		} else {
+			v = s.AddVar(dist...)
+		}
+		vars[i] = v
+	}
+	var d formula.DNF
+	for len(d) < cfg.Clauses {
+		w := 1 + rng.Intn(cfg.MaxWidth)
+		if cfg.ForceWidth {
+			w = cfg.MaxWidth
+		}
+		atoms := make([]formula.Atom, 0, w)
+		for len(atoms) < w {
+			v := vars[rng.Intn(len(vars))]
+			val := formula.Val(rng.Intn(s.DomainSize(v)))
+			atoms = append(atoms, formula.Atom{Var: v, Val: val})
+		}
+		if c, ok := formula.NewClause(atoms...); ok {
+			d = append(d, c)
+		}
+	}
+	return s, d.Normalize()
+}
+
+// randomDist draws a distribution of the given size with all entries at
+// least minP (renormalized).
+func randomDist(rng *rand.Rand, n int, minP float64) []float64 {
+	dist := make([]float64, n)
+	sum := 0.0
+	for i := range dist {
+		dist[i] = minP + rng.Float64()
+		sum += dist[i]
+	}
+	for i := range dist {
+		dist[i] /= sum
+	}
+	// Fix rounding so the entries sum to exactly 1 within AddVar tolerance.
+	return dist
+}

@@ -1,0 +1,138 @@
+// Package sprout implements the SPROUT exact-confidence baselines the
+// paper compares against (Section VII-1): extensional safe-plan
+// evaluation for hierarchical queries without self-joins [21], and the
+// secondary-storage-style sorted-scan algorithms for tractable
+// conjunctive queries with inequalities (IQ queries) [20].
+//
+// Unlike the d-tree algorithm, these baselines exploit knowledge of the
+// query structure: a safe plan multiplies and independent-projects per-tuple
+// probabilities without ever materializing lineage, and the IQ scans use
+// the nesting structure of inequality joins. They are exact and fast but
+// apply only to the tractable classes.
+package sprout
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/formula"
+	"repro/internal/pdb"
+)
+
+// ProbTable is an extensional probabilistic table: each row carries the
+// probability of the independent event it represents. Safe plans
+// guarantee the independence assumptions each operator needs.
+type ProbTable struct {
+	Cols []string
+	Rows []ProbRow
+}
+
+// ProbRow is a row and the probability of its event.
+type ProbRow struct {
+	Vals []pdb.Value
+	P    float64
+}
+
+// FromRelation converts a tuple-independent (or deterministic) relation
+// into a ProbTable, evaluating each tuple's lineage clause.
+func FromRelation(s *formula.Space, r *pdb.Relation) *ProbTable {
+	t := &ProbTable{Cols: r.Cols}
+	for _, tup := range r.Tups {
+		t.Rows = append(t.Rows, ProbRow{Vals: tup.Vals, P: tup.Lin.Probability(s)})
+	}
+	return t
+}
+
+// Select keeps the rows satisfying pred.
+func (t *ProbTable) Select(pred func(vals []pdb.Value) bool) *ProbTable {
+	out := &ProbTable{Cols: t.Cols}
+	for _, r := range t.Rows {
+		if pred(r.Vals) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// IndepJoin hash-joins two tables on one column each, multiplying row
+// probabilities. Safe when the joined rows are independent events —
+// i.e. the two inputs come from distinct relations (no self-joins).
+func IndepJoin(l, r *ProbTable, lcol, rcol int) *ProbTable {
+	out := &ProbTable{Cols: append(append([]string{}, l.Cols...), r.Cols...)}
+	index := make(map[pdb.Value][]int, len(r.Rows))
+	for i, row := range r.Rows {
+		index[row.Vals[rcol]] = append(index[row.Vals[rcol]], i)
+	}
+	for _, lrow := range l.Rows {
+		for _, ri := range index[lrow.Vals[lcol]] {
+			rrow := r.Rows[ri]
+			vals := make([]pdb.Value, 0, len(lrow.Vals)+len(rrow.Vals))
+			vals = append(vals, lrow.Vals...)
+			vals = append(vals, rrow.Vals...)
+			out.Rows = append(out.Rows, ProbRow{Vals: vals, P: lrow.P * rrow.P})
+		}
+	}
+	return out
+}
+
+// IndepProject projects onto the given columns, combining the rows of
+// each group with the independent-or rule 1 − Π(1 − p). Safe when rows
+// collapsing into one group are independent events — the condition the
+// hierarchical property guarantees at every projection of a safe plan.
+func (t *ProbTable) IndepProject(cols []int) *ProbTable {
+	out := &ProbTable{Cols: make([]string, len(cols))}
+	for i, c := range cols {
+		out.Cols[i] = t.Cols[c]
+	}
+	type group struct {
+		vals []pdb.Value
+		q    float64 // Π (1 − p)
+	}
+	groups := make(map[string]*group)
+	var order []string
+	var key strings.Builder
+	for _, r := range t.Rows {
+		key.Reset()
+		vals := make([]pdb.Value, len(cols))
+		for i, c := range cols {
+			vals[i] = r.Vals[c]
+			writeVal(&key, r.Vals[c])
+		}
+		k := key.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{vals: vals, q: 1}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.q *= 1 - r.P
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		g := groups[k]
+		out.Rows = append(out.Rows, ProbRow{Vals: g.vals, P: 1 - g.q})
+	}
+	return out
+}
+
+// BooleanConfidence projects away every column: the probability that at
+// least one (independent) row exists. This is the final operator of a
+// Boolean safe plan.
+func (t *ProbTable) BooleanConfidence() float64 {
+	q := 1.0
+	for _, r := range t.Rows {
+		q *= 1 - r.P
+	}
+	return 1 - q
+}
+
+func writeVal(b *strings.Builder, v pdb.Value) {
+	u := uint64(v)
+	var buf [9]byte
+	buf[0] = '|'
+	for i := 1; i < 9; i++ {
+		buf[i] = byte(u)
+		u >>= 8
+	}
+	b.Write(buf[:])
+}

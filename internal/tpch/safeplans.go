@@ -1,0 +1,107 @@
+package tpch
+
+import (
+	"repro/internal/pdb"
+	"repro/internal/sprout"
+)
+
+// This file implements the SPROUT baseline (Section VII-1) for the
+// tractable queries: exact confidence computation that exploits the
+// query structure — safe plans with independent-project/-join for the
+// hierarchical queries, and the sorted-scan inequality algorithms for
+// the IQ queries — without ever materializing lineage.
+
+// SproutQ1 evaluates Q1's safe plan: the selection's tuples grouped by
+// (returnflag, linestatus) with independent-project.
+func (db *DB) SproutQ1(cutoff pdb.Value) *sprout.ProbTable {
+	sel := pdb.Select(db.Lineitem, func(v []pdb.Value) bool { return v[lShipdate] <= cutoff })
+	return sprout.FromRelation(db.Space, sel).IndepProject([]int{lReturnflag, lLinestatus})
+}
+
+// SproutB1 evaluates B1 exactly: 1 − Π (1 − p) over the selection.
+func (db *DB) SproutB1(cutoff pdb.Value) float64 {
+	sel := pdb.Select(db.Lineitem, func(v []pdb.Value) bool { return v[lShipdate] <= cutoff })
+	return sprout.FromRelation(db.Space, sel).BooleanConfidence()
+}
+
+// SproutB6 evaluates B6 exactly.
+func (db *DB) SproutB6(dateLo, dateHi, discLo, discHi, qtyMax pdb.Value) float64 {
+	sel := pdb.Select(db.Lineitem, func(v []pdb.Value) bool {
+		return v[lShipdate] >= dateLo && v[lShipdate] < dateHi &&
+			v[lDiscount] >= discLo && v[lDiscount] <= discHi &&
+			v[lQuantity] < qtyMax
+	})
+	return sprout.FromRelation(db.Space, sel).BooleanConfidence()
+}
+
+// SproutQ15 evaluates Q15's safe plan
+// π_sk( supplier ⋈_sk π_sk^{ip}(σ(lineitem)) ): one row per supplier
+// with its exact confidence.
+func (db *DB) SproutQ15(dateLo, dateHi pdb.Value) *sprout.ProbTable {
+	li := pdb.Select(db.Lineitem, func(v []pdb.Value) bool {
+		return v[lShipdate] >= dateLo && v[lShipdate] < dateHi
+	})
+	liProj := sprout.FromRelation(db.Space, li).IndepProject([]int{lSuppkey})
+	joined := sprout.IndepJoin(sprout.FromRelation(db.Space, db.Supplier), liProj, 0, 0)
+	return joined.IndepProject([]int{0})
+}
+
+// SproutB16 evaluates B16's safe plan
+// π∅( σ(part) ⋈_pk π_pk^{ip}(partsupp) ).
+func (db *DB) SproutB16(notBrand, minSize pdb.Value) float64 {
+	parts := pdb.Select(db.Part, func(v []pdb.Value) bool {
+		return v[pBrand] != notBrand && v[pSize] >= minSize
+	})
+	psProj := sprout.FromRelation(db.Space, db.PartSupp).IndepProject([]int{psPartkey})
+	joined := sprout.IndepJoin(sprout.FromRelation(db.Space, parts), psProj, pPartkey, 0)
+	return joined.BooleanConfidence()
+}
+
+// SproutB17 evaluates B17's safe plan
+// π∅( σ(part) ⋈_pk π_pk^{ip}(lineitem) ).
+func (db *DB) SproutB17(brand, container pdb.Value) float64 {
+	parts := pdb.Select(db.Part, func(v []pdb.Value) bool {
+		return v[pBrand] == brand && v[pContainer] == container
+	})
+	liProj := sprout.FromRelation(db.Space, db.Lineitem).IndepProject([]int{lPartkey})
+	joined := sprout.IndepJoin(sprout.FromRelation(db.Space, parts), liProj, pPartkey, 0)
+	return joined.BooleanConfidence()
+}
+
+// weighted extracts (value, tuple probability) pairs for the IQ scans.
+func (db *DB) weighted(r *pdb.Relation, col int) []sprout.WeightedValue {
+	out := make([]sprout.WeightedValue, 0, r.Len())
+	for _, t := range r.Tups {
+		out = append(out, sprout.WeightedValue{
+			Val:  int64(t.Vals[col]),
+			Prob: t.Lin.Probability(db.Space),
+		})
+	}
+	return out
+}
+
+// SproutIQB1 evaluates IQB1 exactly with the pair sorted scan.
+func (db *DB) SproutIQB1(nE, nD int) float64 {
+	parts, lis, _ := db.iqLevels(nE, nD, 0)
+	return sprout.PairLessConfidence(
+		db.weighted(parts, pSize),
+		db.weighted(lis, lQuantity))
+}
+
+// SproutIQB4 evaluates IQB4 exactly with the star sorted scan.
+func (db *DB) SproutIQB4(nE, nD, nC int) float64 {
+	parts, lis, pss := db.iqLevels(nE, nD, nC)
+	return sprout.Exists1SuffixConfidence(
+		db.weighted(parts, pSize),
+		db.weighted(lis, lQuantity),
+		db.weighted(pss, psAvailqty))
+}
+
+// SproutIQ6 evaluates IQ6 exactly with the chain sorted scan.
+func (db *DB) SproutIQ6(nE, nD, nC int) float64 {
+	parts, lis, pss := db.iqLevels(nE, nD, nC)
+	return sprout.ChainConfidence(
+		db.weighted(parts, pSize),
+		db.weighted(lis, lQuantity),
+		db.weighted(pss, psAvailqty))
+}
