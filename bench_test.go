@@ -8,18 +8,23 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/formula"
 	"repro/internal/graphs"
 	"repro/internal/mc"
+	"repro/internal/pdb"
 	"repro/internal/randdnf"
 	"repro/internal/sprout"
 	"repro/internal/tpch"
+	"repro/internal/workpool"
 )
 
 // benchDB memoizes generated databases across benchmarks.
@@ -45,8 +50,9 @@ func benchDtree(b *testing.B, s *formula.Space, d formula.DNF, eps float64, kind
 	if len(d) == 0 {
 		b.Skip("empty lineage at bench scale")
 	}
-	b.ReportMetric(float64(len(d)), "clauses")
 	b.ResetTimer()
+	// After ResetTimer: it deletes user-reported metrics.
+	b.ReportMetric(float64(len(d)), "clauses")
 	for i := 0; i < b.N; i++ {
 		// MaxWork caps pathological hard-region instances the way the
 		// harness's timeout budget does; converged runs are unaffected.
@@ -390,6 +396,176 @@ func BenchmarkAblationGlobalVsDepthFirst(b *testing.B) {
 	b.Run("global", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := core.ApproxGlobal(s, d, core.Options{Eps: 0.01, Kind: core.Relative}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Unified engine: parallel batch conf() and subformula memoization.
+// ---------------------------------------------------------------------
+
+// confBatchAnswers builds a batch of answers with hierarchical
+// (tractable) lineage where consecutive answers share blocks of base
+// tuples — the cross-answer repeated-subformula pattern of multi-answer
+// queries. Each answer's lineage spans `window` of the `blocks` shared
+// blocks.
+func confBatchAnswers(nAnswers, blocks, window, perBlock int) (*formula.Space, []pdb.Answer) {
+	s := formula.NewSpace()
+	blockDNF := make([]formula.DNF, blocks)
+	for g := range blockDNF {
+		r := s.AddBoolTagged(0.3, 0)
+		var d formula.DNF
+		for j := 0; j < perBlock; j++ {
+			sv := s.AddBoolTagged(0.5, 1)
+			d = append(d, formula.MustClause(formula.Pos(r), formula.Pos(sv)))
+		}
+		blockDNF[g] = d
+	}
+	answers := make([]pdb.Answer, nAnswers)
+	for i := range answers {
+		var lin formula.DNF
+		for w := 0; w < window; w++ {
+			lin = append(lin, blockDNF[(i+w)%blocks]...)
+		}
+		answers[i] = pdb.Answer{Vals: []pdb.Value{pdb.Value(i)}, Lin: lin}
+	}
+	return s, answers
+}
+
+func benchConfBatch(b *testing.B, s *formula.Space, answers []pdb.Answer, pool int, cache bool) {
+	b.Helper()
+	defer workpool.Resize(runtime.GOMAXPROCS(0))
+	workpool.Resize(pool)
+	var ev engine.Evaluator = engine.Exact{}
+	if cache {
+		// One cache shared across iterations: the steady state of a
+		// server answering repeated/overlapping queries.
+		ev = engine.Exact{Cache: formula.NewProbCache(0)}
+	}
+	b.ResetTimer()
+	// After ResetTimer: it deletes user-reported metrics.
+	b.ReportMetric(float64(len(answers)), "answers")
+	for i := 0; i < b.N; i++ {
+		confs, err := pdb.Conf(context.Background(), s, answers, ev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(confs) != len(answers) {
+			b.Fatalf("got %d confs", len(confs))
+		}
+	}
+}
+
+// BenchmarkBatchConf measures the conf() operator over a 12-answer
+// batch: parallel fan-out vs sequential, with and without the shared
+// subformula cache. The parallel gain needs real cores (GOMAXPROCS>1);
+// the cache gain shows even single-core.
+func BenchmarkBatchConf(b *testing.B) {
+	s, answers := confBatchAnswers(12, 15, 4, 40)
+	b.Run("sequential", func(b *testing.B) { benchConfBatch(b, s, answers, 1, false) })
+	b.Run("parallel", func(b *testing.B) { benchConfBatch(b, s, answers, 8, false) })
+	b.Run("sequential-cache", func(b *testing.B) { benchConfBatch(b, s, answers, 1, true) })
+	b.Run("parallel-cache", func(b *testing.B) { benchConfBatch(b, s, answers, 8, true) })
+}
+
+// BenchmarkBatchConfTPCH is the same comparison on real TPC-H lineage:
+// the per-supplier answers of Q15.
+func BenchmarkBatchConfTPCH(b *testing.B) {
+	db := getDB(0.002, 1)
+	answers := db.Q15(0, tpch.MaxDate/3)
+	if len(answers) < 8 {
+		b.Skipf("only %d answers at bench scale", len(answers))
+	}
+	b.Run("sequential", func(b *testing.B) { benchConfBatch(b, db.Space, answers, 1, false) })
+	b.Run("parallel", func(b *testing.B) { benchConfBatch(b, db.Space, answers, 8, false) })
+	b.Run("sequential-cache", func(b *testing.B) { benchConfBatch(b, db.Space, answers, 1, true) })
+	b.Run("parallel-cache", func(b *testing.B) { benchConfBatch(b, db.Space, answers, 8, true) })
+}
+
+// BenchmarkParallelExact measures parallel vs sequential exploration of
+// one large tractable lineage (wide independent-or decomposition).
+func BenchmarkParallelExact(b *testing.B) {
+	s := formula.NewSpace()
+	var d formula.DNF
+	for a := 0; a < 400; a++ {
+		r := s.AddBoolTagged(0.3, 0)
+		for j := 0; j < 6; j++ {
+			sv := s.AddBoolTagged(0.5, 1)
+			d = append(d, formula.MustClause(formula.Pos(r), formula.Pos(sv)))
+		}
+	}
+	for _, cfg := range []struct {
+		name string
+		seq  bool
+		pool int
+	}{
+		{"sequential", true, 1},
+		{"parallel", false, 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			defer workpool.Resize(runtime.GOMAXPROCS(0))
+			workpool.Resize(cfg.pool)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Exact(s, d, core.Options{Sequential: cfg.seq}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelApproxRandomGraph measures parallel child preparation
+// in the ε-approximation on the random-graph workload (karate triangle,
+// the ablation instance).
+func BenchmarkParallelApproxRandomGraph(b *testing.B) {
+	s, d := ablationInstance()
+	for _, cfg := range []struct {
+		name string
+		seq  bool
+		pool int
+	}{
+		{"sequential", true, 1},
+		{"parallel", false, 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			defer workpool.Resize(runtime.GOMAXPROCS(0))
+			workpool.Resize(cfg.pool)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Approx(s, d, core.Options{
+					Eps: 0.01, Kind: core.Relative, Sequential: cfg.seq,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCacheTPCH measures the memo cache on repeated evaluation of
+// TPC-H lineage (B17, hierarchical) — cache-off vs a cache shared
+// across evaluations.
+func BenchmarkCacheTPCH(b *testing.B) {
+	db := getDB(0.001, 1)
+	d := db.B17(3, 7)
+	if len(d) == 0 {
+		b.Skip("empty lineage at bench scale")
+	}
+	b.Run("cache-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Exact(db.Space, d, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache-on", func(b *testing.B) {
+		cache := formula.NewProbCache(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Exact(db.Space, d, core.Options{Cache: cache}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,9 +1,11 @@
 // Command dtree computes exact or approximate probabilities of DNF
-// formulas over discrete random variables using the d-tree algorithm.
+// formulas over discrete random variables through the unified
+// confidence engine.
 //
 // Usage:
 //
-//	dtree [-eps 0.01] [-relative] [-exact] [-stats] [-mc] [file]
+//	dtree [-eps 0.01] [-relative] [-exact] [-global] [-seq] [-stats]
+//	      [-timeout 0] [-max-nodes 0] [-mc] [file]
 //
 // The input (a file argument or stdin) uses the dnftext format:
 //
@@ -12,27 +14,31 @@
 //	clause x v=2
 //
 // With -exact (or -eps 0) the exact probability is printed; otherwise an
-// ε-approximation with the chosen error semantics. -mc additionally runs
-// the Karp-Luby/DKLR baseline for comparison.
+// ε-approximation with the chosen error semantics. -timeout cancels the
+// evaluation through its context; -max-nodes bounds the d-tree.
+// -mc additionally runs the Karp-Luby/DKLR baseline for comparison.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dnftext"
-	"repro/internal/mc"
+	"repro/internal/engine"
 )
 
 func main() {
 	eps := flag.Float64("eps", 0.01, "allowed error (0 = exact)")
 	relative := flag.Bool("relative", false, "use relative (multiplicative) error instead of absolute")
 	exact := flag.Bool("exact", false, "compute the exact probability")
+	global := flag.Bool("global", false, "use the global largest-interval-first strategy")
+	seq := flag.Bool("seq", false, "disable parallel exploration of independent branches")
 	stats := flag.Bool("stats", false, "print d-tree statistics")
+	timeout := flag.Duration("timeout", 0, "wall-clock evaluation budget (0 = none)")
+	maxNodes := flag.Int("max-nodes", 0, "d-tree node budget (0 = unlimited)")
 	runMC := flag.Bool("mc", false, "also run the Karp-Luby/DKLR baseline (aconf)")
 	delta := flag.Float64("delta", 0.0001, "failure probability for -mc")
 	flag.Parse()
@@ -55,38 +61,57 @@ func main() {
 		return
 	}
 
-	opt := core.Options{Eps: *eps, Kind: core.Absolute}
+	ev := engine.Approx{
+		Eps:  *eps,
+		Kind: engine.Absolute,
+		Budget: engine.Budget{
+			MaxNodes: *maxNodes,
+			Timeout:  *timeout,
+		},
+		Sequential: *seq,
+		Global:     *global,
+	}
 	if *relative {
-		opt.Kind = core.Relative
+		ev.Kind = engine.Relative
 	}
 	if *exact {
-		opt.Eps = 0
+		ev.Eps = 0
 	}
 
+	ctx := context.Background()
 	start := time.Now()
-	res, err := core.Approx(s, d, opt)
+	res, err := ev.Evaluate(ctx, s, d)
 	elapsed := time.Since(start)
 	if err != nil {
-		fatal(err)
+		// Timeouts and budget exhaustion still carry the bounds reached
+		// so far; surface them before failing.
+		fmt.Fprintf(os.Stderr, "dtree: %v (bounds reached: [%.10g, %.10g], %d nodes, %v)\n",
+			err, res.Lo, res.Hi, res.Nodes, elapsed)
+		os.Exit(1)
 	}
 	if res.Exact {
 		fmt.Printf("P = %.10g (exact, %v)\n", res.Estimate, elapsed)
 	} else {
 		fmt.Printf("P ≈ %.10g (±%g %s, bounds [%.10g, %.10g], %v)\n",
-			res.Estimate, opt.Eps, opt.Kind, res.Lo, res.Hi, elapsed)
+			res.Estimate, ev.Eps, ev.Kind, res.Lo, res.Hi, elapsed)
 	}
 	if *stats {
 		fmt.Printf("clauses=%d vars=%d nodes=%d leaves-closed=%d early-stop=%v\n",
 			len(d), len(d.Vars()), res.Nodes, res.LeavesClosed, res.EarlyStop)
 	}
 	if *runMC {
-		epsMC := opt.Eps
+		epsMC := ev.Eps
 		if epsMC == 0 {
 			epsMC = 0.01
 		}
 		start = time.Now()
-		r := mc.AConf(s, d, mc.AConfOptions{Eps: epsMC, Delta: *delta},
-			rand.New(rand.NewSource(1)))
+		r, err := engine.MonteCarlo{
+			Eps: epsMC, Delta: *delta,
+			Budget: engine.Budget{Timeout: *timeout}, Seed: 1,
+		}.Evaluate(ctx, s, d)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("aconf ≈ %.10g (ε=%g δ=%g, %d samples, %v)\n",
 			r.Estimate, epsMC, *delta, r.Samples, time.Since(start))
 	}

@@ -4,11 +4,13 @@
 // Usage:
 //
 //	experiments [-fig all|6a,6b,6c,7,8,8c,9] [-sf 0.002] [-seed 42]
-//	            [-md] [-dtree-nodes N] [-aconf-samples N]
+//	            [-md] [-dtree-nodes N] [-aconf-samples N] [-parallel N]
 //
 // Defaults are scaled down to finish in minutes; raise -sf and the
 // budgets for larger runs. -md emits GitHub markdown (the body of
-// EXPERIMENTS.md's measured sections).
+// EXPERIMENTS.md's measured sections). -parallel sizes the shared
+// worker pool the engine explores independent d-tree branches on
+// (default GOMAXPROCS; 1 reproduces the paper's sequential runs).
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/workpool"
 )
 
 func main() {
@@ -27,11 +30,18 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown instead of plain text")
 	dtreeNodes := flag.Int("dtree-nodes", 0, "d-tree node budget (default 3e6)")
 	aconfSamples := flag.Int("aconf-samples", 0, "aconf sample budget (default 3e6)")
+	parallel := flag.Int("parallel", 0, "worker-pool parallelism (default GOMAXPROCS, 1 = sequential)")
+	shareCache := flag.Bool("cache", false, "share a subformula cache across each query's answers (off = paper-faithful)")
 	flag.Parse()
+
+	if *parallel > 0 {
+		workpool.Resize(*parallel)
+	}
 
 	p := exp.Params{
 		SF: *sf, Seed: *seed,
 		DtreeMaxNodes: *dtreeNodes, AconfMaxSample: *aconfSamples,
+		ShareCache: *shareCache,
 	}
 
 	run := map[string]func() *exp.Table{

@@ -15,14 +15,25 @@
 // This root package re-exports the main entry points; the
 // implementation lives in the internal packages:
 //
-//	internal/formula — variables, clauses, DNFs, probability spaces
-//	internal/core    — d-tree compilation, bounds, ε-approximation
-//	internal/mc      — Karp-Luby estimator, DKLR stopping rule (aconf)
-//	internal/pdb     — probabilistic relations and positive RA
-//	internal/sprout  — safe plans and IQ inequality scans
-//	internal/tpch    — probabilistic TPC-H generator and query suite
-//	internal/graphs  — random graphs and social networks
-//	internal/exp     — the figure-regeneration harness
+//	internal/formula  — variables, clauses, DNFs, probability spaces,
+//	                    and the hash-consed subformula probability cache
+//	internal/core     — d-tree compilation, bounds, ε-approximation
+//	internal/engine   — the unified, cancellable Evaluator API over the
+//	                    whole algorithm menu (d-tree exact/approx, Monte
+//	                    Carlo, SPROUT plans) with structured budgets
+//	internal/workpool — the bounded worker pool shared by parallel
+//	                    d-tree exploration and batch conf() fan-out
+//	internal/mc       — Karp-Luby estimator, DKLR stopping rule (aconf)
+//	internal/pdb      — probabilistic relations, positive RA, and the
+//	                    parallel batch conf() operator
+//	internal/sprout   — safe plans and IQ inequality scans
+//	internal/tpch     — probabilistic TPC-H generator and query suite
+//	internal/graphs   — random graphs and social networks
+//	internal/exp      — the figure-regeneration harness
+//
+// New code should evaluate confidence through the engine API (the
+// Evaluator/Budget re-exports below); the direct core/mc re-exports
+// remain for paper-faithful, single-algorithm use.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for measured reproductions of every figure.
@@ -30,6 +41,7 @@ package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/formula"
 	"repro/internal/mc"
 )
@@ -67,6 +79,27 @@ type (
 	ErrorKind = core.ErrorKind
 )
 
+// Unified confidence-engine types: one cancellable API over the whole
+// algorithm menu, with parallel branch exploration and subformula
+// memoization.
+type (
+	// Evaluator is the single confidence-computation entry point.
+	Evaluator = engine.Evaluator
+	// Budget bounds an evaluation (nodes, work, samples, wall clock).
+	Budget = engine.Budget
+	// EvalResult is the unified evaluation outcome.
+	EvalResult = engine.Result
+	// ExactEval evaluates exactly via parallel d-tree compilation.
+	ExactEval = engine.Exact
+	// ApproxEval evaluates an ε-approximation with error guarantees.
+	ApproxEval = engine.Approx
+	// MonteCarloEval is the Karp-Luby/DKLR (ε, δ) baseline.
+	MonteCarloEval = engine.MonteCarlo
+	// ProbCache is the hash-consed subformula probability memo table
+	// shared across evaluations of one probability space.
+	ProbCache = formula.ProbCache
+)
+
 // Error kinds (Definition 5.7).
 const (
 	Absolute = core.Absolute
@@ -94,4 +127,9 @@ var (
 	Bounds = core.LeafBounds
 	// AConf is the Karp-Luby/DKLR (ε, δ) baseline.
 	AConf = mc.AConf
+	// NewProbCache returns an empty subformula probability cache.
+	NewProbCache = formula.NewProbCache
+	// SproutPlan adapts an exact query-structural computation to the
+	// Evaluator API.
+	SproutPlan = engine.SproutPlan
 )

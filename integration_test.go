@@ -1,11 +1,12 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/formula"
+	"repro/internal/engine"
 	"repro/internal/graphs"
 	"repro/internal/mc"
 	"repro/internal/obdd"
@@ -41,11 +42,8 @@ func TestEndToEndTPCH(t *testing.T) {
 		t.Skip("no answers at this scale")
 	}
 
-	confs, err := pdb.Conf(db.Space, answers, pdb.ConfidenceFunc(
-		func(s *formula.Space, d formula.DNF) (float64, error) {
-			res, err := core.Approx(s, d, core.Options{Eps: 0.0001, Kind: core.Absolute})
-			return res.Estimate, err
-		}))
+	confs, err := pdb.Conf(context.Background(), db.Space, answers,
+		engine.Approx{Eps: 0.0001, Kind: engine.Absolute})
 	if err != nil {
 		t.Fatal(err)
 	}

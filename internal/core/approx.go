@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/formula"
+	"repro/internal/workpool"
 )
 
 // ErrorKind selects between the two approximation guarantees of
@@ -46,6 +49,19 @@ type Options struct {
 	// whose individual leaves are huge.
 	MaxWork int
 
+	// Cache, when non-nil, memoizes exact multi-clause subformula
+	// probabilities. Sharing one cache across evaluations over the same
+	// Space (the answers of a query, repeated Shannon branches) computes
+	// each repeated fragment once. The cache must not be reused with a
+	// different Space.
+	Cache *formula.ProbCache
+
+	// Sequential disables parallel exploration of independent d-tree
+	// branches. Parallel exploration is on by default and produces
+	// bitwise-identical results; Sequential exists for measurement and
+	// debugging.
+	Sequential bool
+
 	// Ablation switches (all false in the paper's configuration).
 	DisableClosing     bool // never close leaves (Section V-D off)
 	DisableSubsumption bool // skip subsumed-clause removal (Fig. 1 step 1 off)
@@ -62,13 +78,17 @@ type Result struct {
 	Nodes int
 	// LeavesClosed counts leaves discarded by the Theorem 5.12 check.
 	LeavesClosed int
+	// CacheHits and CacheMisses count subformula memo-cache lookups by
+	// this evaluation (zero when Options.Cache is nil).
+	CacheHits, CacheMisses int64
 	// Exact reports Lo == Hi.
 	Exact bool
 	// EarlyStop reports that the Proposition 5.8 condition fired before
 	// the compilation was exhaustive.
 	EarlyStop bool
 	// Converged reports that the requested guarantee was achieved (always
-	// true unless the node budget was exhausted first).
+	// true unless the node budget was exhausted or the context fired
+	// first).
 	Converged bool
 }
 
@@ -79,21 +99,35 @@ type Result struct {
 // of Proposition 5.8 (then it stops), or (2) the current leaf can be
 // closed per Theorem 5.12 while still guaranteeing the error bound.
 func Approx(s *formula.Space, d formula.DNF, opt Options) (Result, error) {
+	return ApproxCtx(context.Background(), s, d, opt)
+}
+
+// ApproxCtx is Approx with cancellation: when ctx is cancelled or its
+// deadline passes, evaluation stops promptly and the context's error is
+// returned together with the bounds reached so far (Converged false).
+func ApproxCtx(ctx context.Context, s *formula.Space, d formula.DNF, opt Options) (Result, error) {
 	if opt.Eps == 0 {
-		return Exact(s, d, opt)
+		return ExactCtx(ctx, s, d, opt)
 	}
-	st := &state{s: s, opt: opt}
+	st := newState(ctx, s, opt)
+	if err := st.ctx.Err(); err != nil {
+		st.cancelErr = err
+		return st.finish(0, 1), err
+	}
 	f := st.prepare(d)
 	if f.exact {
 		return st.finish(f.lo, f.hi), nil
 	}
 	id := affine{1, 0}
-	lo, hi := st.explore(f, ctx{id, id, id, id})
+	lo, hi := st.explore(f, bctx{id, id, id, id})
 	if st.done {
 		lo, hi = st.doneLo, st.doneHi
 	}
 	res := st.finish(lo, hi)
-	if st.budgetHit {
+	if st.cancelErr != nil {
+		return res, st.cancelErr
+	}
+	if st.budgetHit.Load() {
 		return res, ErrBudget
 	}
 	return res, nil
@@ -103,16 +137,24 @@ func Approx(s *formula.Space, d formula.DNF, opt Options) (Result, error) {
 // materializing the tree and without computing per-leaf bounds. This is
 // the "d-tree(error 0)" configuration of the experiments; it runs in
 // polynomial time on lineage of tractable queries (Section VI).
+// Independent branches are explored in parallel on the shared worker
+// pool (see internal/workpool) unless Options.Sequential is set.
 func Exact(s *formula.Space, d formula.DNF, opt Options) (Result, error) {
-	st := &state{s: s, opt: opt}
+	return ExactCtx(context.Background(), s, d, opt)
+}
+
+// ExactCtx is Exact with cancellation semantics matching ApproxCtx.
+func ExactCtx(ctx context.Context, s *formula.Space, d formula.DNF, opt Options) (Result, error) {
+	st := newState(ctx, s, opt)
 	p, err := st.exactRec(d)
 	if err != nil {
-		return Result{Nodes: st.nodes}, err
+		res := st.finish(0, 1)
+		res.Converged = false
+		return res, err
 	}
-	return Result{
-		Lo: p, Hi: p, Estimate: p,
-		Nodes: st.nodes, Exact: true, Converged: true,
-	}, nil
+	res := st.finish(p, p)
+	res.Estimate, res.Exact, res.Converged = p, true, true
+	return res, nil
 }
 
 // ExactProbability is a convenience wrapper around Exact returning just
@@ -132,7 +174,7 @@ type affine struct{ a, b float64 }
 func (f affine) ap(x float64) float64    { return f.a*x + f.b }
 func (f affine) compose(g affine) affine { return affine{f.a * g.a, f.a*g.b + f.b} }
 
-// ctx carries, for the subtree being explored, the affine maps from its
+// bctx carries, for the subtree being explored, the affine maps from its
 // (lower, upper) bounds to the d-tree root's (lower, upper) bounds under
 // two policies for leaves not yet explored:
 //
@@ -142,22 +184,41 @@ func (f affine) compose(g affine) affine { return affine{f.a * g.a, f.a*g.b + f.
 //	               the bound-space point maximizing the error interval
 //	               (Lemma 5.11), so satisfying the condition here makes
 //	               closing the current leaf safe (Theorem 5.12).
-type ctx struct {
+type bctx struct {
 	sLo, sHi affine // stop policy: root lower / upper
 	cLo, cHi affine // close policy: root lower / upper
 }
 
+// state carries one evaluation's configuration and counters. The
+// counters are atomics because the exact path fans independent branches
+// out across goroutines; the incremental (eps > 0) refinement itself is
+// sequential — its stop/close decisions depend on refinement order — so
+// the fields below the counters are only touched single-threaded.
 type state struct {
 	s   *formula.Space
 	opt Options
+	ctx context.Context
+	// pooled snapshots worker-pool availability once per evaluation, so
+	// the per-node parallelizable check stays lock-free.
+	pooled bool
 
-	nodes  int
-	work   int
-	closed int
+	nodes     atomic.Int64
+	work      atomic.Int64
+	budgetHit atomic.Bool
+	hits      atomic.Int64
+	misses    atomic.Int64
 
+	closed         int
 	done           bool
 	doneLo, doneHi float64
-	budgetHit      bool
+	cancelErr      error
+}
+
+func newState(ctx context.Context, s *formula.Space, opt Options) *state {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &state{s: s, opt: opt, ctx: ctx, pooled: workpool.Parallelism() > 1}
 }
 
 // frag is a prepared DNF fragment: normalized, subsumption-reduced, with
@@ -169,7 +230,7 @@ type frag struct {
 }
 
 func (st *state) prepare(d formula.DNF) frag {
-	st.work += len(d)
+	st.work.Add(int64(len(d)))
 	d = d.Normalize()
 	if d.IsTrue() {
 		return frag{d: d, lo: 1, hi: 1, exact: true}
@@ -185,13 +246,42 @@ func (st *state) prepare(d formula.DNF) frag {
 		return frag{d: d, lo: p, hi: p, exact: true}
 	}
 	if len(d) <= incExcMaxClauses {
-		st.work += 1 << len(d)
-		p := inclusionExclusion(st.s, d)
+		p := st.cachedProb(d, func() float64 {
+			st.work.Add(1 << len(d))
+			return inclusionExclusion(st.s, d)
+		})
 		return frag{d: d, lo: p, hi: p, exact: true}
 	}
 	lo, hi, ops := leafBounds(st.s, d, !st.opt.DisableBucketSort)
-	st.work += ops
+	st.work.Add(int64(ops))
 	return frag{d: d, lo: lo, hi: hi, exact: lo == hi}
+}
+
+// cachedProb memoizes compute() for multi-clause fragments when a cache
+// is configured.
+func (st *state) cachedProb(d formula.DNF, compute func() float64) float64 {
+	p, _ := st.cachedProbErr(d, func() (float64, error) { return compute(), nil })
+	return p
+}
+
+// cachedProbErr is cachedProb for fallible computations; failed
+// computations are not stored.
+func (st *state) cachedProbErr(d formula.DNF, compute func() (float64, error)) (float64, error) {
+	c := st.opt.Cache
+	if c == nil || len(d) <= 1 {
+		return compute()
+	}
+	if p, ok := c.Lookup(d); ok {
+		st.hits.Add(1)
+		return p, nil
+	}
+	st.misses.Add(1)
+	p, err := compute()
+	if err != nil {
+		return 0, err
+	}
+	c.Store(d, p)
+	return p, nil
 }
 
 func (st *state) cond(lo, hi float64) bool {
@@ -199,8 +289,8 @@ func (st *state) cond(lo, hi float64) bool {
 }
 
 func (st *state) overBudget() bool {
-	return (st.opt.MaxNodes > 0 && st.nodes >= st.opt.MaxNodes) ||
-		(st.opt.MaxWork > 0 && st.work >= st.opt.MaxWork)
+	return (st.opt.MaxNodes > 0 && st.nodes.Load() >= int64(st.opt.MaxNodes)) ||
+		(st.opt.MaxWork > 0 && st.work.Load() >= int64(st.opt.MaxWork))
 }
 
 func (st *state) finish(lo, hi float64) Result {
@@ -208,7 +298,7 @@ func (st *state) finish(lo, hi float64) Result {
 	if hi < lo {
 		hi = lo
 	}
-	converged := st.cond(lo, hi) && !st.budgetHit
+	converged := st.cond(lo, hi) && !st.budgetHit.Load() && st.cancelErr == nil
 	var est float64
 	if converged {
 		est = EstimateFrom(st.opt.Kind, st.opt.Eps, lo, hi)
@@ -217,8 +307,9 @@ func (st *state) finish(lo, hi float64) Result {
 	}
 	return Result{
 		Lo: lo, Hi: hi, Estimate: est,
-		Nodes: st.nodes, LeavesClosed: st.closed,
-		Exact: lo == hi, EarlyStop: st.done && !st.budgetHit,
+		Nodes: int(st.nodes.Load()), LeavesClosed: st.closed,
+		CacheHits: st.hits.Load(), CacheMisses: st.misses.Load(),
+		Exact: lo == hi, EarlyStop: st.done && !st.budgetHit.Load() && st.cancelErr == nil,
 		Converged: converged,
 	}
 }
@@ -229,8 +320,8 @@ func (st *state) finish(lo, hi float64) Result {
 // stop check and the leaf close check, then decomposes per Figure 1 and
 // recurses on the children depth-first left-to-right, updating the bound
 // contexts with each refined sibling.
-func (st *state) explore(f frag, cx ctx) (lo, hi float64) {
-	st.nodes++
+func (st *state) explore(f frag, cx bctx) (lo, hi float64) {
+	st.nodes.Add(1)
 
 	// (1) Stop check: are the global bounds, with this and all remaining
 	// open leaves at their heuristic bounds, already an ε-approximation?
@@ -240,8 +331,15 @@ func (st *state) explore(f frag, cx ctx) (lo, hi float64) {
 		st.doneLo, st.doneHi = gLo, gHi
 		return f.lo, f.hi
 	}
+	if err := st.ctx.Err(); err != nil {
+		st.done = true
+		st.cancelErr = err
+		st.doneLo, st.doneHi = gLo, gHi
+		return f.lo, f.hi
+	}
 	if st.overBudget() {
-		st.done, st.budgetHit = true, true
+		st.done = true
+		st.budgetHit.Store(true)
 		st.doneLo, st.doneHi = gLo, gHi
 		return f.lo, f.hi
 	}
@@ -298,39 +396,39 @@ func (st *state) explore(f frag, cx ctx) (lo, hi float64) {
 
 // decompose applies the first applicable decomposition of Figure 1 and
 // returns the node kind, the prepared children, and the per-child
-// multiplier (P(x = a) for Shannon branches, 1 otherwise).
+// multiplier (P(x = a) for Shannon branches, 1 otherwise). Child
+// preparation (the quadratic leaf-bounds heuristic) fans out on the
+// worker pool when the fragment is large enough.
 func (st *state) decompose(d formula.DNF) (Kind, []frag, []float64) {
 	if comps := d.Components(); len(comps) > 1 {
-		children := make([]frag, len(comps))
+		subs := make([]formula.DNF, len(comps))
 		mult := make([]float64, len(comps))
 		for i, idx := range comps {
-			children[i] = st.prepare(d.Select(idx))
+			subs[i] = d.Select(idx)
 			mult[i] = 1
 		}
-		return IndepOr, children, mult
+		return IndepOr, st.prepareAll(subs), mult
 	}
 	if parts := independentAndParts(st.s, d); parts != nil {
-		children := make([]frag, len(parts))
 		mult := make([]float64, len(parts))
-		for i, p := range parts {
-			children[i] = st.prepare(p)
+		for i := range mult {
 			mult[i] = 1
 		}
-		return IndepAnd, children, mult
+		return IndepAnd, st.prepareAll(parts), mult
 	}
 	x := chooseVar(st.s, d, st.opt.Order)
-	var children []frag
+	var subs []formula.DNF
 	var mult []float64
 	for a := 0; a < st.s.DomainSize(x); a++ {
 		sub := d.Restrict(x, formula.Val(a))
 		if sub.IsFalse() {
 			continue
 		}
-		st.nodes++ // the {{x=a}} ⊙-companion leaf
-		children = append(children, st.prepare(sub))
+		st.nodes.Add(1) // the {{x=a}} ⊙-companion leaf
+		subs = append(subs, sub)
 		mult = append(mult, st.s.P(formula.Atom{Var: x, Val: formula.Val(a)}))
 	}
-	return ExclOr, children, mult
+	return ExclOr, st.prepareAll(subs), mult
 }
 
 // childCtx builds the bound context for child i of a node of the given
@@ -338,7 +436,7 @@ func (st *state) decompose(d formula.DNF) (Kind, []frag, []float64) {
 // the stop policy, siblings contribute their current [lo, hi]; for the
 // close policy, already-processed siblings contribute their refined
 // (frozen) [lo, hi] while still-open siblings are pinned to [lo, lo].
-func (st *state) childCtx(cx ctx, kind Kind, q float64, loArr, hiArr []float64, processed []bool, i int) ctx {
+func (st *state) childCtx(cx bctx, kind Kind, q float64, loArr, hiArr []float64, processed []bool, i int) bctx {
 	var sL, sU, cL, cU affine
 	switch kind {
 	case ExclOr:
@@ -402,7 +500,7 @@ func (st *state) childCtx(cx ctx, kind Kind, q float64, loArr, hiArr []float64, 
 	default:
 		panic("core: childCtx on leaf")
 	}
-	return ctx{
+	return bctx{
 		sLo: cx.sLo.compose(sL),
 		sHi: cx.sHi.compose(sU),
 		cLo: cx.cLo.compose(cL),
@@ -438,11 +536,23 @@ func combine(kind Kind, loArr, hiArr []float64) (lo, hi float64) {
 }
 
 // exactRec is the exhaustive, bounds-free compilation used for Eps 0.
+// Independent children recurse through exactChildren, which fans large
+// fragments out on the worker pool; results are combined in child-index
+// order, so parallel and sequential runs produce bitwise-identical
+// probabilities.
 func (st *state) exactRec(d formula.DNF) (float64, error) {
-	st.nodes++
-	st.work += len(d)
+	// Poll the context on a stride of the shared node counter: checking
+	// every node would have all pool workers contending on the timer
+	// context's mutex. The first node still polls, so a dead context
+	// fails fast.
+	if n := st.nodes.Add(1); n%exactCtxStride == 1 {
+		if err := st.ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	st.work.Add(int64(len(d)))
 	if st.overBudget() {
-		st.budgetHit = true
+		st.budgetHit.Store(true)
 		return 0, ErrBudget
 	}
 	d = d.Normalize()
@@ -458,45 +568,61 @@ func (st *state) exactRec(d formula.DNF) (float64, error) {
 	if len(d) == 1 {
 		return d[0].Probability(st.s), nil
 	}
+	return st.cachedProbErr(d, func() (float64, error) { return st.exactDecompose(d) })
+}
+
+// exactDecompose computes P(d) for a normalized, subsumption-reduced,
+// multi-clause DNF by the first applicable rule of Figure 1.
+func (st *state) exactDecompose(d formula.DNF) (float64, error) {
 	if len(d) <= incExcMaxClauses {
-		st.work += 1 << len(d)
+		st.work.Add(1 << len(d))
 		return inclusionExclusion(st.s, d), nil
 	}
 	if comps := d.Components(); len(comps) > 1 {
+		subs := make([]formula.DNF, len(comps))
+		for i, idx := range comps {
+			subs[i] = d.Select(idx)
+		}
+		ps, err := st.exactChildren(subs)
+		if err != nil {
+			return 0, err
+		}
 		q := 1.0
-		for _, idx := range comps {
-			p, err := st.exactRec(d.Select(idx))
-			if err != nil {
-				return 0, err
-			}
+		for _, p := range ps {
 			q *= 1 - p
 		}
 		return 1 - q, nil
 	}
 	if parts := independentAndParts(st.s, d); parts != nil {
+		ps, err := st.exactChildren(parts)
+		if err != nil {
+			return 0, err
+		}
 		p := 1.0
-		for _, part := range parts {
-			pp, err := st.exactRec(part)
-			if err != nil {
-				return 0, err
-			}
+		for _, pp := range ps {
 			p *= pp
 		}
 		return p, nil
 	}
 	x := chooseVar(st.s, d, st.opt.Order)
-	total := 0.0
+	var subs []formula.DNF
+	var weights []float64
 	for a := 0; a < st.s.DomainSize(x); a++ {
 		sub := d.Restrict(x, formula.Val(a))
 		if sub.IsFalse() {
 			continue
 		}
-		st.nodes++
-		p, err := st.exactRec(sub)
-		if err != nil {
-			return 0, err
-		}
-		total += st.s.P(formula.Atom{Var: x, Val: formula.Val(a)}) * p
+		st.nodes.Add(1)
+		subs = append(subs, sub)
+		weights = append(weights, st.s.P(formula.Atom{Var: x, Val: formula.Val(a)}))
+	}
+	ps, err := st.exactChildren(subs)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i, p := range ps {
+		total += weights[i] * p
 	}
 	return total, nil
 }

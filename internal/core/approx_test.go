@@ -31,7 +31,7 @@ func TestExample55(t *testing.T) {
 func TestExample513(t *testing.T) {
 	st := &state{s: formula.NewSpace(), opt: Options{Eps: 0.012, Kind: Absolute}}
 	id := affine{1, 0}
-	root := ctx{id, id, id, id}
+	root := bctx{id, id, id, id}
 
 	// Root ⊗ node: child 0 is the closed leaf Φ1 [0.1, 0.11] (processed),
 	// child 1 is the ⊕ subtree currently [0.55, 0.60] (irrelevant: we

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/formula"
 )
 
@@ -13,10 +15,20 @@ import (
 // depth-first variant, retained here as an alternative strategy and an
 // ablation target.
 func ApproxGlobal(s *formula.Space, d formula.DNF, opt Options) (Result, error) {
+	return ApproxGlobalCtx(context.Background(), s, d, opt)
+}
+
+// ApproxGlobalCtx is ApproxGlobal with cancellation semantics matching
+// ApproxCtx: the context is checked before every refinement step.
+func ApproxGlobalCtx(ctx context.Context, s *formula.Space, d formula.DNF, opt Options) (Result, error) {
 	if opt.Eps == 0 {
-		return Exact(s, d, opt)
+		return ExactCtx(ctx, s, d, opt)
 	}
-	st := &state{s: s, opt: opt}
+	st := newState(ctx, s, opt)
+	if err := st.ctx.Err(); err != nil {
+		st.cancelErr = err
+		return st.finish(0, 1), err
+	}
 	root := &gNode{frag: st.prepare(d)}
 	for {
 		lo, hi := root.bounds()
@@ -33,8 +45,13 @@ func ApproxGlobal(s *formula.Space, d formula.DNF, opt Options) (Result, error) 
 			res := st.finish(lo, hi)
 			return res, nil
 		}
+		if err := st.ctx.Err(); err != nil {
+			st.cancelErr = err
+			res := st.finish(lo, hi)
+			return res, err
+		}
 		if st.overBudget() {
-			st.budgetHit = true
+			st.budgetHit.Store(true)
 			res := st.finish(lo, hi)
 			res.Converged = false
 			return res, ErrBudget
@@ -115,5 +132,5 @@ func (st *state) refine(leaf *gNode) {
 	for i, f := range children {
 		leaf.children[i] = &gNode{frag: f, mult: mult[i]}
 	}
-	st.nodes += len(children)
+	st.nodes.Add(int64(len(children)))
 }

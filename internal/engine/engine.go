@@ -1,0 +1,253 @@
+// Package engine unifies the paper's confidence-computation algorithm
+// menu — exact d-tree compilation, the ε-approximation (depth-first and
+// global variants), the Karp-Luby/DKLR Monte Carlo baseline, and the
+// SPROUT exact plans — behind one cancellable Evaluator API.
+//
+// Every algorithm is a value implementing
+//
+//	Evaluate(ctx, space, lineage) (Result, error)
+//
+// with context-based cancellation/deadlines and a structured Budget in
+// place of the per-package MaxNodes/MaxWork/sample-count knobs. The
+// d-tree evaluators explore independent branches on the shared bounded
+// worker pool (internal/workpool) and can share a hash-consed
+// subformula probability cache (formula.ProbCache) across answers and
+// queries; cache traffic is surfaced in Result.
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/formula"
+	"repro/internal/mc"
+)
+
+// Re-exported core types, so engine users configure evaluators without
+// importing internal/core.
+type (
+	// ErrorKind selects absolute or relative approximation error.
+	ErrorKind = core.ErrorKind
+	// VarOrder selects the Shannon-expansion variable order.
+	VarOrder = core.VarOrder
+)
+
+// Error kinds (Definition 5.7).
+const (
+	Absolute = core.Absolute
+	Relative = core.Relative
+)
+
+// ErrBudget is returned when an evaluation exhausts its Budget before
+// reaching the requested guarantee.
+var ErrBudget = core.ErrBudget
+
+// Budget bounds the resources of a single evaluation. The zero value is
+// unlimited. It replaces the scattered MaxNodes/MaxWork/MaxSamples
+// fields of the per-algorithm option structs.
+type Budget struct {
+	// MaxNodes bounds the number of d-tree nodes constructed.
+	MaxNodes int
+	// MaxWork bounds cumulative clause-processing operations — a
+	// machine-independent stand-in for a wall-clock timeout.
+	MaxWork int
+	// MaxSamples bounds Monte Carlo estimator invocations.
+	MaxSamples int
+	// Timeout, when positive, is applied to the evaluation's context as
+	// a deadline.
+	Timeout time.Duration
+}
+
+// context derives the evaluation context carrying the Timeout.
+func (b Budget) context(ctx context.Context) (context.Context, context.CancelFunc) {
+	if b.Timeout > 0 {
+		return context.WithTimeout(ctx, b.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// Result is the outcome of an evaluation, unified across algorithms.
+type Result struct {
+	// Lo and Hi bound the probability. For the deterministic algorithms
+	// the bounds are certain; for MonteCarlo they hold with probability
+	// at least 1−δ (and are [0, 1] when the run did not converge).
+	Lo, Hi float64
+	// Estimate is the probability estimate.
+	Estimate float64
+	// Exact reports a certain, exact Estimate (Lo == Hi).
+	Exact bool
+	// Converged reports that the algorithm's guarantee was achieved
+	// within the budget.
+	Converged bool
+	// EarlyStop reports that a d-tree evaluator stopped on the
+	// Proposition 5.8 condition before exhaustive compilation.
+	EarlyStop bool
+	// Nodes counts d-tree nodes constructed (d-tree evaluators).
+	Nodes int
+	// LeavesClosed counts Theorem 5.12 leaf closings (Approx).
+	LeavesClosed int
+	// Samples counts estimator invocations (MonteCarlo).
+	Samples int
+	// CacheHits and CacheMisses count subformula memo-cache lookups made
+	// by this evaluation (zero without a cache).
+	CacheHits, CacheMisses int64
+}
+
+// Evaluator is the single entry point for confidence computation: it
+// evaluates the probability of a lineage DNF over a probability space.
+// Implementations must be safe for concurrent use — conf() fans batches
+// of answers out across goroutines sharing one Evaluator.
+type Evaluator interface {
+	Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (Result, error)
+}
+
+// Func adapts a function to Evaluator.
+type Func func(ctx context.Context, s *formula.Space, d formula.DNF) (Result, error)
+
+// Evaluate implements Evaluator.
+func (f Func) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (Result, error) {
+	return f(ctx, s, d)
+}
+
+func fromCore(r core.Result) Result {
+	return Result{
+		Lo: r.Lo, Hi: r.Hi, Estimate: r.Estimate,
+		Exact: r.Exact, Converged: r.Converged, EarlyStop: r.EarlyStop,
+		Nodes: r.Nodes, LeavesClosed: r.LeavesClosed,
+		CacheHits: r.CacheHits, CacheMisses: r.CacheMisses,
+	}
+}
+
+// Exact evaluates probabilities exactly by exhaustive d-tree
+// compilation (the paper's "d-tree(error 0)" configuration). The zero
+// value is ready to use: parallel branch exploration on, no cache, no
+// budget.
+type Exact struct {
+	// Order selects the Shannon-expansion variable order.
+	Order VarOrder
+	// Budget bounds the evaluation.
+	Budget Budget
+	// Cache, when non-nil, memoizes subformula probabilities across
+	// evaluations sharing it (same Space only).
+	Cache *formula.ProbCache
+	// Sequential disables parallel branch exploration.
+	Sequential bool
+}
+
+// Evaluate implements Evaluator.
+func (e Exact) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (Result, error) {
+	ctx, cancel := e.Budget.context(ctx)
+	defer cancel()
+	res, err := core.ExactCtx(ctx, s, d, core.Options{
+		Order:    e.Order,
+		MaxNodes: e.Budget.MaxNodes, MaxWork: e.Budget.MaxWork,
+		Cache: e.Cache, Sequential: e.Sequential,
+	})
+	return fromCore(res), err
+}
+
+// Approx evaluates an ε-approximation with certain error guarantees by
+// incremental d-tree compilation (Section V-D), depth-first with leaf
+// closing by default, or the global largest-interval-first strategy
+// when Global is set. Eps 0 degenerates to exact evaluation.
+type Approx struct {
+	// Eps is the allowed error (0 ≤ Eps < 1).
+	Eps float64
+	// Kind selects absolute or relative error.
+	Kind ErrorKind
+	// Order selects the Shannon-expansion variable order.
+	Order VarOrder
+	// Budget bounds the evaluation.
+	Budget Budget
+	// Cache, when non-nil, memoizes exact subformula probabilities.
+	Cache *formula.ProbCache
+	// Sequential disables parallel exploration.
+	Sequential bool
+	// Global selects the materialized largest-interval-first variant.
+	Global bool
+}
+
+// Evaluate implements Evaluator.
+func (e Approx) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (Result, error) {
+	ctx, cancel := e.Budget.context(ctx)
+	defer cancel()
+	opt := core.Options{
+		Eps: e.Eps, Kind: e.Kind, Order: e.Order,
+		MaxNodes: e.Budget.MaxNodes, MaxWork: e.Budget.MaxWork,
+		Cache: e.Cache, Sequential: e.Sequential,
+	}
+	var res core.Result
+	var err error
+	if e.Global {
+		res, err = core.ApproxGlobalCtx(ctx, s, d, opt)
+	} else {
+		res, err = core.ApproxCtx(ctx, s, d, opt)
+	}
+	return fromCore(res), err
+}
+
+// MonteCarlo evaluates an (ε, δ) relative approximation with the
+// Karp-Luby/DKLR baseline (the aconf() operator of MayBMS). Its bounds
+// are probabilistic: they hold with probability at least 1−δ.
+type MonteCarlo struct {
+	// Eps is the relative error (0 < Eps < 1).
+	Eps float64
+	// Delta is the failure probability (0 < Delta < 1).
+	Delta float64
+	// Budget bounds the evaluation (MaxSamples and Timeout apply).
+	Budget Budget
+	// Seed seeds the per-evaluation RNG; 0 means seed 1. Each Evaluate
+	// call creates its own generator, so one MonteCarlo value is safe
+	// for concurrent batches.
+	Seed int64
+}
+
+// Evaluate implements Evaluator.
+func (e MonteCarlo) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (Result, error) {
+	ctx, cancel := e.Budget.context(ctx)
+	defer cancel()
+	seed := e.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res, err := mc.AConfCtx(ctx, s, d, mc.AConfOptions{
+		Eps: e.Eps, Delta: e.Delta, MaxSamples: e.Budget.MaxSamples,
+	}, rng)
+	out := Result{
+		Estimate: res.Estimate, Samples: res.Samples, Converged: res.Converged,
+		Lo: 0, Hi: 1,
+	}
+	if res.Converged && e.Eps > 0 && e.Eps < 1 {
+		// Invert the relative guarantee (1−ε)p ≤ p̂ ≤ (1+ε)p.
+		out.Lo = clamp01(res.Estimate / (1 + e.Eps))
+		out.Hi = clamp01(res.Estimate / (1 - e.Eps))
+	}
+	return out, err
+}
+
+// SproutPlan adapts an exact query-structural computation — a SPROUT
+// safe plan or IQ sorted-scan closure, which derives the probability
+// from the query plan rather than the lineage — to the Evaluator API.
+// The lineage argument is ignored.
+func SproutPlan(f func() float64) Evaluator {
+	return Func(func(ctx context.Context, s *formula.Space, d formula.DNF) (Result, error) {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		p := f()
+		return Result{Lo: p, Hi: p, Estimate: p, Exact: true, Converged: true}, nil
+	})
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

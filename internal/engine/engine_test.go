@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/formula"
+	"repro/internal/randdnf"
+)
+
+func randInstance(seed int64) (*formula.Space, formula.DNF) {
+	return randdnf.Generate(randdnf.Config{
+		Vars: 14, Clauses: 18, MaxWidth: 3, MaxDomain: 2, MinProb: 0.1, MaxProb: 0.9,
+	}, seed)
+}
+
+// TestEvaluatorsAgree checks every evaluator against brute force over
+// random instances: the unified API must not change any algorithm's
+// semantics.
+func TestEvaluatorsAgree(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(1); seed <= 10; seed++ {
+		s, d := randInstance(seed)
+		want := formula.BruteForceProbability(s, d)
+		cases := []struct {
+			name string
+			ev   Evaluator
+			tol  float64
+		}{
+			{"exact", Exact{}, 1e-9},
+			{"exact-seq", Exact{Sequential: true}, 1e-9},
+			{"exact-cache", Exact{Cache: formula.NewProbCache(0)}, 1e-9},
+			{"approx-abs", Approx{Eps: 0.01, Kind: Absolute}, 0.01 + 1e-9},
+			{"approx-global", Approx{Eps: 0.01, Kind: Absolute, Global: true}, 0.01 + 1e-9},
+			{"mc", MonteCarlo{Eps: 0.05, Delta: 0.01, Seed: seed}, 0.12},
+		}
+		for _, c := range cases {
+			res, err := c.ev.Evaluate(ctx, s, d)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, c.name, err)
+			}
+			if !res.Converged {
+				t.Fatalf("seed %d %s: not converged", seed, c.name)
+			}
+			if math.Abs(res.Estimate-want) > c.tol {
+				t.Fatalf("seed %d %s: estimate %v, want %v±%v",
+					seed, c.name, res.Estimate, want, c.tol)
+			}
+		}
+	}
+}
+
+// TestRelativeGuaranteeBounds checks that MonteCarlo's inverted (ε, δ)
+// interval contains the true probability on converged runs.
+func TestRelativeGuaranteeBounds(t *testing.T) {
+	s, d := randInstance(3)
+	want := formula.BruteForceProbability(s, d)
+	res, err := MonteCarlo{Eps: 0.05, Delta: 0.001, Seed: 9}.Evaluate(context.Background(), s, d)
+	if err != nil || !res.Converged {
+		t.Fatalf("mc: err=%v converged=%v", err, res.Converged)
+	}
+	if want < res.Lo-0.02 || want > res.Hi+0.02 {
+		t.Fatalf("true p %v outside probabilistic bounds [%v, %v]", want, res.Lo, res.Hi)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	s, d := randdnf.Generate(randdnf.Config{
+		Vars: 60, Clauses: 200, MaxWidth: 4, MaxDomain: 2, MinProb: 0.2, MaxProb: 0.8,
+	}, 5)
+	_, err := Exact{Budget: Budget{MaxNodes: 3}}.Evaluate(context.Background(), s, d)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	s, d := randdnf.Generate(randdnf.Config{
+		Vars: 80, Clauses: 400, MaxWidth: 5, MaxDomain: 2, MinProb: 0.2, MaxProb: 0.8,
+	}, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, c := range []struct {
+		name string
+		ev   Evaluator
+	}{
+		{"exact", Exact{}},
+		{"approx", Approx{Eps: 0.001, Kind: Absolute}},
+		{"approx-global", Approx{Eps: 0.001, Kind: Absolute, Global: true}},
+		{"mc", MonteCarlo{Eps: 0.001, Delta: 0.0001}},
+		{"sprout", SproutPlan(func() float64 { return 0.5 })},
+	} {
+		start := time.Now()
+		_, err := c.ev.Evaluate(ctx, s, d)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", c.name, err)
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Fatalf("%s: cancellation took %v, want prompt return", c.name, el)
+		}
+	}
+}
+
+func TestBudgetTimeout(t *testing.T) {
+	s, d := randdnf.Generate(randdnf.Config{
+		Vars: 120, Clauses: 800, MaxWidth: 6, MaxDomain: 2, MinProb: 0.3, MaxProb: 0.7,
+	}, 7)
+	ev := Exact{Budget: Budget{Timeout: time.Millisecond}}
+	start := time.Now()
+	_, err := ev.Evaluate(context.Background(), s, d)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("deadline enforcement took %v", el)
+	}
+}
+
+func TestSproutPlanAdapter(t *testing.T) {
+	res, err := SproutPlan(func() float64 { return 0.375 }).Evaluate(context.Background(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Estimate != 0.375 || res.Lo != 0.375 || res.Hi != 0.375 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+// TestCacheSurfacedInResult checks that repeated evaluation through a
+// shared cache reports hits in Result.
+func TestCacheSurfacedInResult(t *testing.T) {
+	s, d := randInstance(8)
+	cache := formula.NewProbCache(0)
+	ev := Exact{Cache: cache}
+	first, err := ev.Evaluate(context.Background(), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ev.Evaluate(context.Background(), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Estimate != second.Estimate {
+		t.Fatalf("cache changed the estimate: %v vs %v", first.Estimate, second.Estimate)
+	}
+	if second.CacheHits == 0 {
+		t.Fatalf("second run reported no cache hits (misses=%d, cache len=%d)",
+			second.CacheMisses, cache.Len())
+	}
+}

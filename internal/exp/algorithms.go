@@ -1,12 +1,11 @@
 package exp
 
 import (
-	"math/rand"
+	"context"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/formula"
-	"repro/internal/mc"
 )
 
 // Params configures an experiment run. Zero values get Small() defaults.
@@ -24,6 +23,12 @@ type Params struct {
 	AconfMaxSample int
 
 	Delta float64 // aconf δ (the paper fixes 0.0001)
+
+	// ShareCache shares one subformula probability cache across the
+	// answers of each multi-answer query. Off by default: the figures
+	// reproduce the paper's per-answer measurements; turning it on
+	// measures the engine's cross-answer sharing instead.
+	ShareCache bool
 }
 
 // Small returns defaults sized so the full suite finishes in a few
@@ -75,56 +80,60 @@ func (r runResult) timeCell() string {
 	return ms(r.millis)
 }
 
-// runDtree measures core.Approx on one DNF.
-func runDtree(s *formula.Space, d formula.DNF, eps float64, kind core.ErrorKind, maxNodes int) runResult {
+// runEval measures one engine evaluation — every experiment algorithm
+// goes through the unified Evaluator API.
+func runEval(ev engine.Evaluator, s *formula.Space, d formula.DNF) runResult {
 	start := time.Now()
-	res, err := core.Approx(s, d, core.Options{Eps: eps, Kind: kind, MaxNodes: maxNodes, MaxWork: 8 * maxNodes})
+	res, err := ev.Evaluate(context.Background(), s, d)
 	el := time.Since(start)
-	ok := err == nil && res.Converged
+	detail := res.Nodes
+	if res.Samples > 0 {
+		detail = res.Samples
+	}
 	return runResult{
 		est: res.Estimate, millis: float64(el.Microseconds()) / 1000,
-		ok: ok, detail: res.Nodes, exact: res.Exact, estimate: prob(res.Estimate),
+		ok: err == nil && res.Converged, detail: detail, exact: res.Exact,
+		estimate: prob(res.Estimate),
 	}
 }
 
+// dtreeBudget is the experiments' node budget plus the matching
+// clause-work cap (8 clause operations per node, the seed's ratio).
+func dtreeBudget(maxNodes int) engine.Budget {
+	return engine.Budget{MaxNodes: maxNodes, MaxWork: 8 * maxNodes}
+}
+
+// runDtree measures the ε-approximation on one DNF. cache may be nil;
+// figures share one cache across the answers of a query.
+func runDtree(s *formula.Space, d formula.DNF, eps float64, kind engine.ErrorKind, maxNodes int, cache *formula.ProbCache) runResult {
+	return runEval(engine.Approx{
+		Eps: eps, Kind: kind, Budget: dtreeBudget(maxNodes), Cache: cache,
+	}, s, d)
+}
+
 // runDtreeExact measures the error-0 configuration.
-func runDtreeExact(s *formula.Space, d formula.DNF, maxNodes int) runResult {
-	start := time.Now()
-	res, err := core.Exact(s, d, core.Options{MaxNodes: maxNodes, MaxWork: 8 * maxNodes})
-	el := time.Since(start)
-	return runResult{
-		est: res.Estimate, millis: float64(el.Microseconds()) / 1000,
-		ok: err == nil, detail: res.Nodes, exact: true, estimate: prob(res.Estimate),
-	}
+func runDtreeExact(s *formula.Space, d formula.DNF, maxNodes int, cache *formula.ProbCache) runResult {
+	r := runEval(engine.Exact{Budget: dtreeBudget(maxNodes), Cache: cache}, s, d)
+	r.exact = true
+	return r
 }
 
 // runAconf measures the Karp-Luby/DKLR baseline.
 func runAconf(s *formula.Space, d formula.DNF, eps, delta float64, maxSamples int, seed int64) runResult {
-	rng := rand.New(rand.NewSource(seed))
 	// The budget is clause evaluations; each Karp-Luby sample costs one
 	// pass over the DNF.
 	samples := maxSamples / max(1, len(d))
 	if samples < 200 {
 		samples = 200
 	}
-	start := time.Now()
-	res := mc.AConf(s, d, mc.AConfOptions{Eps: eps, Delta: delta, MaxSamples: samples}, rng)
-	el := time.Since(start)
-	return runResult{
-		est: res.Estimate, millis: float64(el.Microseconds()) / 1000,
-		ok: res.Converged, detail: res.Samples, estimate: prob(res.Estimate),
-	}
+	return runEval(engine.MonteCarlo{
+		Eps: eps, Delta: delta, Budget: engine.Budget{MaxSamples: samples}, Seed: seed,
+	}, s, d)
 }
 
 // runMeasured wraps an arbitrary exact computation (SPROUT plans/scans).
 func runMeasured(f func() float64) runResult {
-	start := time.Now()
-	p := f()
-	el := time.Since(start)
-	return runResult{
-		est: p, millis: float64(el.Microseconds()) / 1000,
-		ok: true, exact: true, estimate: prob(p),
-	}
+	return runEval(engine.SproutPlan(f), nil, nil)
 }
 
 // sumRuns aggregates per-answer runs into a per-query measurement (the

@@ -3,7 +3,7 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/formula"
 	"repro/internal/pdb"
 	"repro/internal/tpch"
@@ -90,14 +90,23 @@ func fig6Tractable(id string, probHigh float64, p Params) *Table {
 	for _, q := range tractableQueries(db) {
 		clauses := 0
 		var ac, dt, de []runResult
+		// With ShareCache, one memo cache per query: the answers of a
+		// multi-answer query share base tuples, so repeated lineage
+		// fragments hit the cache. Off by default to keep the figure
+		// faithful to the paper's per-answer measurements.
+		var dtCache, deCache *formula.ProbCache
+		if p.ShareCache {
+			dtCache = formula.NewProbCache(0)
+			deCache = formula.NewProbCache(0)
+		}
 		for i, d := range q.dnfs {
 			clauses += len(d)
 			if len(d) == 0 {
 				continue
 			}
 			ac = append(ac, runAconf(db.Space, d, relErr001, p.Delta, p.AconfMaxSample, p.Seed+int64(i)))
-			dt = append(dt, runDtree(db.Space, d, relErr001, core.Relative, p.DtreeMaxNodes))
-			de = append(de, runDtreeExact(db.Space, d, p.DtreeMaxNodes))
+			dt = append(dt, runDtree(db.Space, d, relErr001, engine.Relative, p.DtreeMaxNodes, dtCache))
+			de = append(de, runDtreeExact(db.Space, d, p.DtreeMaxNodes, deCache))
 		}
 		sp := runMeasured(q.sprout)
 		sa, sd, se := sumRuns(ac), sumRuns(dt), sumRuns(de)
@@ -145,8 +154,8 @@ func Fig6c(p Params) *Table {
 			continue
 		}
 		ac := runAconf(db.Space, q.dnf, relErr001, p.Delta, p.AconfMaxSample, p.Seed)
-		dt := runDtree(db.Space, q.dnf, relErr001, core.Relative, p.DtreeMaxNodes)
-		de := runDtreeExact(db.Space, q.dnf, p.DtreeMaxNodes)
+		dt := runDtree(db.Space, q.dnf, relErr001, engine.Relative, p.DtreeMaxNodes, nil)
+		de := runDtreeExact(db.Space, q.dnf, p.DtreeMaxNodes, nil)
 		sp := runMeasured(q.sprout)
 		t.Rows = append(t.Rows, []string{
 			q.name, fmt.Sprint(len(q.dnf)),
@@ -189,8 +198,8 @@ func Fig7(p Params, sfs []float64) *Table {
 			}
 			a1 := runAconf(db.Space, q.dnf, relErr001, p.Delta, p.AconfMaxSample, p.Seed)
 			a5 := runAconf(db.Space, q.dnf, relErr005, p.Delta, p.AconfMaxSample, p.Seed+1)
-			d1 := runDtree(db.Space, q.dnf, relErr001, core.Relative, p.DtreeMaxNodes)
-			d5 := runDtree(db.Space, q.dnf, relErr005, core.Relative, p.DtreeMaxNodes)
+			d1 := runDtree(db.Space, q.dnf, relErr001, engine.Relative, p.DtreeMaxNodes, nil)
+			d5 := runDtree(db.Space, q.dnf, relErr005, engine.Relative, p.DtreeMaxNodes, nil)
 			t.Rows = append(t.Rows, []string{
 				q.name, fmt.Sprint(sf), fmt.Sprint(len(q.dnf)),
 				a1.timeCell(), a5.timeCell(), d1.timeCell(), d5.timeCell(), d1.estimate,

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/formula"
 	"repro/internal/graphs"
 	"repro/internal/tpch"
@@ -63,10 +65,10 @@ func NodeStats(p Params) *Table {
 		if c.name == "karate-triangle" || c.name == "karate-s2" {
 			space = karate.Space()
 		}
-		res, aerr := core.Approx(space, c.dnf, core.Options{
-			Eps: relErr001, Kind: core.Relative,
-			MaxNodes: p.DtreeMaxNodes, MaxWork: 8 * p.DtreeMaxNodes,
-		})
+		res, aerr := engine.Approx{
+			Eps: relErr001, Kind: engine.Relative,
+			Budget: dtreeBudget(p.DtreeMaxNodes),
+		}.Evaluate(context.Background(), space, c.dnf)
 		if aerr != nil {
 			row = append(row, "TO", "-")
 		} else {

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -34,21 +35,34 @@ const defaultMaxSamples = 50_000_000
 // algorithm [6]. With probability at least 1−δ the returned estimate is
 // within relative error ε of P(d).
 func AConf(s *formula.Space, d formula.DNF, opt AConfOptions, rng *rand.Rand) Result {
+	res, _ := AConfCtx(context.Background(), s, d, opt, rng)
+	return res
+}
+
+// AConfCtx is AConf with cancellation: the sample loops poll ctx every
+// ctxCheckStride samples and return the best-effort estimate so far with
+// Converged false and the context's error when it fires.
+func AConfCtx(ctx context.Context, s *formula.Space, d formula.DNF, opt AConfOptions, rng *rand.Rand) (Result, error) {
 	d = d.Normalize()
 	if len(d) == 0 {
-		return Result{Estimate: 0, Converged: true}
+		return Result{Estimate: 0, Converged: true}, nil
 	}
 	if d.IsTrue() {
-		return Result{Estimate: 1, Converged: true}
+		return Result{Estimate: 1, Converged: true}, nil
 	}
 	kl := NewKarpLuby(s, d, rng)
-	res := dklr(kl.SampleNormalized, opt)
+	res, err := dklr(ctx, kl.SampleNormalized, opt)
 	res.Estimate *= kl.Sum()
 	if res.Estimate > 1 {
 		res.Estimate = 1
 	}
-	return res
+	return res, err
 }
+
+// ctxCheckStride is how many estimator calls pass between context polls:
+// frequent enough to stop within microseconds, rare enough to stay off
+// the sampling hot path.
+const ctxCheckStride = 1024
 
 // dklr runs the AA algorithm of Dagum, Karp, Luby and Ross on a sampler
 // of i.i.d. values in [0, 1] with unknown mean μ > 0, returning an
@@ -60,7 +74,7 @@ func AConf(s *formula.Space, d formula.DNF, opt AConfOptions, rng *rand.Rand) Re
 //  2. μ̂ sizes a variance-estimation run over sample pairs, giving
 //     ρ̂ = max(sample variance, ε·μ̂),
 //  3. ρ̂ and μ̂ size the final averaging run whose mean is returned.
-func dklr(sample func() float64, opt AConfOptions) Result {
+func dklr(ctx context.Context, sample func() float64, opt AConfOptions) (Result, error) {
 	eps, delta := opt.Eps, opt.Delta
 	budget := opt.MaxSamples
 	if budget <= 0 {
@@ -68,6 +82,18 @@ func dklr(sample func() float64, opt AConfOptions) Result {
 	}
 	lambda := math.E - 2 // optimal constant of the AA analysis
 	used := 0
+	// Poll on a dedicated per-check counter, not on used: the variance
+	// loop advances used by 2, which would skip every used%stride==0
+	// poll when used enters it odd. The first call polls immediately so
+	// a dead context fails fast.
+	polls := 0
+	canceled := func() error {
+		polls++
+		if polls%ctxCheckStride != 1 {
+			return nil
+		}
+		return ctx.Err()
+	}
 
 	// Step 1: stopping rule SRA(min(1/2, √ε), δ/3).
 	eps1 := math.Min(0.5, math.Sqrt(eps))
@@ -76,8 +102,11 @@ func dklr(sample func() float64, opt AConfOptions) Result {
 	sum := 0.0
 	n1 := 0
 	for sum < threshold {
+		if err := canceled(); err != nil {
+			return budgetResult(sum, n1, used), err
+		}
 		if used >= budget {
-			return budgetResult(sum, n1, used)
+			return budgetResult(sum, n1, used), nil
 		}
 		sum += sample()
 		n1++
@@ -95,8 +124,11 @@ func dklr(sample func() float64, opt AConfOptions) Result {
 	}
 	var s2 float64
 	for i := 0; i < n2; i++ {
+		if err := canceled(); err != nil {
+			return budgetResult(muHat*float64(n1), n1, used), err
+		}
 		if used+2 > budget {
-			return budgetResult(muHat*float64(n1), n1, used)
+			return budgetResult(muHat*float64(n1), n1, used), nil
 		}
 		a := sample()
 		b := sample()
@@ -113,14 +145,17 @@ func dklr(sample func() float64, opt AConfOptions) Result {
 	total := 0.0
 	done := 0
 	for i := 0; i < n3; i++ {
+		if err := canceled(); err != nil {
+			return budgetResult(total, done, used), err
+		}
 		if used >= budget {
-			return budgetResult(total, done, used)
+			return budgetResult(total, done, used), nil
 		}
 		total += sample()
 		done++
 		used++
 	}
-	return Result{Estimate: total / float64(done), Samples: used, Converged: true}
+	return Result{Estimate: total / float64(done), Samples: used, Converged: true}, nil
 }
 
 // budgetResult returns the best-effort mean when the budget runs out.

@@ -1,40 +1,70 @@
 package pdb
 
-import "repro/internal/formula"
+import (
+	"context"
+	"errors"
+	"fmt"
 
-// ConfidenceAlgorithm computes the probability of an answer's lineage —
-// the pluggable core of the conf() operator. Implementations wrap the
-// d-tree algorithm, the Monte Carlo baseline, or the SPROUT plans.
-type ConfidenceAlgorithm interface {
-	Confidence(s *formula.Space, d formula.DNF) (float64, error)
-}
-
-// ConfidenceFunc adapts a function to ConfidenceAlgorithm.
-type ConfidenceFunc func(s *formula.Space, d formula.DNF) (float64, error)
-
-// Confidence implements ConfidenceAlgorithm.
-func (f ConfidenceFunc) Confidence(s *formula.Space, d formula.DNF) (float64, error) {
-	return f(s, d)
-}
+	"repro/internal/engine"
+	"repro/internal/formula"
+	"repro/internal/workpool"
+)
 
 // AnswerConf is an answer tuple with its computed confidence.
 type AnswerConf struct {
 	Vals []Value
-	P    float64
+	// P is the confidence estimate (meaningful when Err is nil).
+	P float64
+	// Res carries the full evaluation outcome (bounds, node counts,
+	// cache traffic).
+	Res engine.Result
+	// Err records this answer's evaluation failure, if any; other
+	// answers of the batch are unaffected.
+	Err error
 }
 
 // Conf is the conf() operator: it computes the confidence of every
-// answer with the given algorithm. It stops at the first error
-// (typically a budget exhaustion), returning the answers computed so
-// far.
-func Conf(s *formula.Space, answers []Answer, alg ConfidenceAlgorithm) ([]AnswerConf, error) {
-	out := make([]AnswerConf, 0, len(answers))
-	for _, a := range answers {
-		p, err := alg.Confidence(s, a.Lin)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, AnswerConf{Vals: a.Vals, P: p})
+// answer with the given evaluator, fanning the batch out across the
+// shared worker pool. A per-answer failure (typically a budget
+// exhaustion) is recorded on that answer instead of aborting the batch;
+// the returned error aggregates every per-answer error. Cancelling ctx
+// stops in-flight evaluations promptly and marks unstarted answers with
+// the context's error. The returned slice always has one entry per
+// answer, in answer order.
+func Conf(ctx context.Context, s *formula.Space, answers []Answer, ev engine.Evaluator) ([]AnswerConf, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return out, nil
+	out := make([]AnswerConf, len(answers))
+	tasks := make([]func(), len(answers))
+	for i := range answers {
+		tasks[i] = func() {
+			a := answers[i]
+			out[i].Vals = a.Vals
+			if err := ctx.Err(); err != nil {
+				out[i].Err = err
+				return
+			}
+			res, err := ev.Evaluate(ctx, s, a.Lin)
+			out[i].P = res.Estimate
+			out[i].Res = res
+			out[i].Err = err
+		}
+	}
+	workpool.Run(tasks...)
+	// Aggregate per-answer failures, collapsing context errors into one
+	// entry: on cancellation every answer carries the same error, and
+	// joining thousands of identical lines helps nobody.
+	ctxErr := ctx.Err()
+	var errs []error
+	for i := range out {
+		if out[i].Err == nil || (ctxErr != nil && errors.Is(out[i].Err, ctxErr)) {
+			continue
+		}
+		errs = append(errs, fmt.Errorf("answer %d %v: %w", i, out[i].Vals, out[i].Err))
+	}
+	if ctxErr != nil {
+		errs = append(errs, ctxErr)
+	}
+	return out, errors.Join(errs...)
 }

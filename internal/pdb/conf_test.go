@@ -1,26 +1,24 @@
 package pdb
 
 import (
+	"context"
 	"errors"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/formula"
+	"repro/internal/workpool"
 )
-
-func dtreeExactAlg() ConfidenceAlgorithm {
-	return ConfidenceFunc(func(s *formula.Space, d formula.DNF) (float64, error) {
-		res, err := core.Exact(s, d, core.Options{})
-		return res.Estimate, err
-	})
-}
 
 func TestConfOperator(t *testing.T) {
 	s := formula.NewSpace()
 	r, u := tinyRelations(s)
 	answers := GroupProject(EquiJoin(r, u, 1, 0), []int{3})
-	confs, err := Conf(s, answers, dtreeExactAlg())
+	confs, err := Conf(context.Background(), s, answers, engine.Exact{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,11 +37,8 @@ func TestConfOperatorApprox(t *testing.T) {
 	s := formula.NewSpace()
 	r, u := tinyRelations(s)
 	answers := GroupProject(EquiJoin(r, u, 1, 0), []int{3})
-	alg := ConfidenceFunc(func(sp *formula.Space, d formula.DNF) (float64, error) {
-		res, err := core.Approx(sp, d, core.Options{Eps: 0.01, Kind: core.Absolute})
-		return res.Estimate, err
-	})
-	confs, err := Conf(s, answers, alg)
+	confs, err := Conf(context.Background(), s, answers,
+		engine.Approx{Eps: 0.01, Kind: engine.Absolute})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,24 +50,106 @@ func TestConfOperatorApprox(t *testing.T) {
 	}
 }
 
-func TestConfOperatorStopsOnError(t *testing.T) {
+// TestConfPartialErrors checks that one answer's failure is recorded on
+// that answer while the rest of the batch still completes, and that the
+// aggregated error surfaces the failure.
+func TestConfPartialErrors(t *testing.T) {
 	s := formula.NewSpace()
 	r, u := tinyRelations(s)
 	answers := GroupProject(EquiJoin(r, u, 1, 0), []int{3})
+	if len(answers) < 2 {
+		t.Fatalf("need ≥ 2 answers, got %d", len(answers))
+	}
 	boom := errors.New("boom")
-	calls := 0
-	alg := ConfidenceFunc(func(sp *formula.Space, d formula.DNF) (float64, error) {
-		calls++
-		if calls == 2 {
-			return 0, boom
+	var calls atomic.Int64
+	failIdx := 1
+	ev := engine.Func(func(ctx context.Context, sp *formula.Space, d formula.DNF) (engine.Result, error) {
+		calls.Add(1)
+		if d.Equal(answers[failIdx].Lin) {
+			return engine.Result{}, boom
 		}
-		return 0.5, nil
+		return engine.Exact{}.Evaluate(ctx, sp, d)
 	})
-	confs, err := Conf(s, answers, alg)
+	confs, err := Conf(context.Background(), s, answers, ev)
 	if !errors.Is(err, boom) {
-		t.Fatalf("err = %v", err)
+		t.Fatalf("aggregated err = %v, want wrapped boom", err)
 	}
-	if len(confs) != 1 {
-		t.Fatalf("kept %d answers before the error, want 1", len(confs))
+	if len(confs) != len(answers) {
+		t.Fatalf("got %d results for %d answers", len(confs), len(answers))
 	}
+	if calls.Load() != int64(len(answers)) {
+		t.Fatalf("evaluator ran %d times, want %d (no abort on first error)",
+			calls.Load(), len(answers))
+	}
+	for i, c := range confs {
+		if i == failIdx {
+			if !errors.Is(c.Err, boom) {
+				t.Fatalf("answer %d: Err = %v, want boom", i, c.Err)
+			}
+			continue
+		}
+		if c.Err != nil {
+			t.Fatalf("answer %d: unexpected Err %v", i, c.Err)
+		}
+		want := formula.BruteForceProbability(s, answers[i].Lin)
+		if math.Abs(c.P-want) > 1e-9 {
+			t.Fatalf("answer %d: P = %v, want %v", i, c.P, want)
+		}
+	}
+}
+
+// TestConfCancelled checks that a cancelled context marks every answer
+// and surfaces the context error.
+func TestConfCancelled(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	answers := GroupProject(EquiJoin(r, u, 1, 0), []int{3})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	confs, err := Conf(ctx, s, answers, engine.Exact{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, c := range confs {
+		if !errors.Is(c.Err, context.Canceled) {
+			t.Fatalf("answer %d: Err = %v, want context.Canceled", i, c.Err)
+		}
+	}
+}
+
+// TestConfConcurrentBatches exercises concurrent Conf batches sharing
+// one probability cache over one space — the production pattern for
+// multi-query traffic — under the race detector.
+func TestConfConcurrentBatches(t *testing.T) {
+	defer workpool.Resize(runtime.GOMAXPROCS(0))
+	workpool.Resize(4)
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	answers := GroupProject(EquiJoin(r, u, 1, 0), []int{3})
+	want := make([]float64, len(answers))
+	for i := range answers {
+		want[i] = formula.BruteForceProbability(s, answers[i].Lin)
+	}
+	cache := formula.NewProbCache(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				confs, err := Conf(context.Background(), s, answers, engine.Exact{Cache: cache})
+				if err != nil {
+					t.Errorf("Conf: %v", err)
+					return
+				}
+				for i, c := range confs {
+					if math.Abs(c.P-want[i]) > 1e-9 {
+						t.Errorf("answer %d: P = %v, want %v", i, c.P, want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,83 @@
+// Package workpool provides the process-wide bounded worker pool shared
+// by the parallel d-tree exploration in internal/core and the batch
+// conf() fan-out in internal/pdb.
+//
+// The pool is a token semaphore, not a set of long-lived workers: Run
+// hands tasks to fresh goroutines only while tokens are available and
+// executes the rest on the calling goroutine. Saturation therefore
+// degrades to sequential execution instead of queueing, and nested Run
+// calls (the d-tree recursion parallelizes at every independent node)
+// can never deadlock: a task that finds the pool exhausted simply runs
+// its children inline.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	mu  sync.Mutex
+	sem chan struct{}
+)
+
+func init() { Resize(runtime.GOMAXPROCS(0)) }
+
+// Resize sets the pool's parallelism to n: Run may offload tasks to at
+// most n−1 helper goroutines, so a single evaluation runs on at most n
+// goroutines. Concurrent top-level Run callers each count themselves —
+// k concurrent batches share the n−1 helpers but still run k caller
+// goroutines, so total concurrency is k+n−1, not n. n < 1 is treated as
+// 1 (fully sequential). Tokens already held by running tasks drain
+// against the old semaphore, so Resize is safe to call while
+// evaluations are in flight.
+func Resize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	mu.Lock()
+	sem = make(chan struct{}, n-1)
+	mu.Unlock()
+}
+
+// Parallelism returns the configured total parallelism.
+func Parallelism() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return cap(sem) + 1
+}
+
+// Run executes every task and returns when all have finished. Tasks
+// beyond the first are offloaded to new goroutines while pool tokens are
+// available; the remainder (always including the first task) run on the
+// calling goroutine.
+func Run(tasks ...func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	mu.Lock()
+	s := sem
+	mu.Unlock()
+	if cap(s) == 0 || len(tasks) == 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, t := range tasks[1:] {
+		select {
+		case s <- struct{}{}:
+			wg.Add(1)
+			go func(f func()) {
+				defer wg.Done()
+				defer func() { <-s }()
+				f()
+			}(t)
+		default:
+			t()
+		}
+	}
+	tasks[0]()
+	wg.Wait()
+}

@@ -1,0 +1,56 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesAll(t *testing.T) {
+	defer Resize(4)
+	for _, n := range []int{1, 2, 8} {
+		Resize(n)
+		var count atomic.Int64
+		tasks := make([]func(), 37)
+		for i := range tasks {
+			tasks[i] = func() { count.Add(1) }
+		}
+		Run(tasks...)
+		if count.Load() != 37 {
+			t.Fatalf("parallelism %d: ran %d of 37 tasks", n, count.Load())
+		}
+	}
+}
+
+func TestNestedRunNoDeadlock(t *testing.T) {
+	defer Resize(4)
+	Resize(2)
+	var count atomic.Int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		count.Add(1)
+		if depth == 0 {
+			return
+		}
+		Run(
+			func() { rec(depth - 1) },
+			func() { rec(depth - 1) },
+		)
+	}
+	rec(6) // 2^7 − 1 nodes, far more tasks than tokens
+	if got := count.Load(); got != 127 {
+		t.Fatalf("ran %d nodes, want 127", got)
+	}
+}
+
+func TestResizeFloorsAtOne(t *testing.T) {
+	defer Resize(4)
+	Resize(-3)
+	if p := Parallelism(); p != 1 {
+		t.Fatalf("Parallelism() = %d after Resize(-3), want 1", p)
+	}
+	ran := false
+	Run(func() { ran = true })
+	if !ran {
+		t.Fatal("task did not run at parallelism 1")
+	}
+}
