@@ -26,14 +26,18 @@
 //	internal/mc       — Karp-Luby estimator, DKLR stopping rule (aconf)
 //	internal/pdb      — probabilistic relations, positive RA, and the
 //	                    parallel batch conf() operator
+//	internal/plan     — the query subsystem: logical plan IR, the
+//	                    safe/IQ/d-tree planner, and the pipelined
+//	                    streaming operator runtime
 //	internal/sprout   — safe plans and IQ inequality scans
 //	internal/tpch     — probabilistic TPC-H generator and query suite
 //	internal/graphs   — random graphs and social networks
 //	internal/exp      — the figure-regeneration harness
 //
-// New code should evaluate confidence through the engine API (the
-// Evaluator/Budget re-exports below); the direct core/mc re-exports
-// remain for paper-faithful, single-algorithm use.
+// New code should declare queries as plan IR and let the planner route
+// them (the Plan/CompilePlan re-exports below), and evaluate lineage
+// through the engine API (Evaluator/Budget); the direct core/mc
+// re-exports remain for paper-faithful, single-algorithm use.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for measured reproductions of every figure.
@@ -44,6 +48,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/formula"
 	"repro/internal/mc"
+	"repro/internal/plan"
 )
 
 // Core formula types.
@@ -100,6 +105,27 @@ type (
 	ProbCache = formula.ProbCache
 )
 
+// Query-planner types: one logical plan IR, routed to safe plans, IQ
+// sorted scans, or the lineage pipeline plus a d-tree evaluator.
+type (
+	// PlanNode is a logical plan operator (Scan, Select, EquiJoin,
+	// ThetaJoin, Project, GroupLineage).
+	PlanNode = plan.Node
+	// Plan is a routed query: routing decision plus executor.
+	Plan = plan.Plan
+	// PlanRoute identifies the chosen execution path.
+	PlanRoute = plan.Route
+	// PlanOptions tunes routing (e.g. forcing the lineage path).
+	PlanOptions = plan.Options
+)
+
+// Planner routes.
+const (
+	RouteSafe    = plan.RouteSafe
+	RouteIQ      = plan.RouteIQ
+	RouteLineage = plan.RouteLineage
+)
+
 // Error kinds (Definition 5.7).
 const (
 	Absolute = core.Absolute
@@ -132,4 +158,16 @@ var (
 	// SproutPlan adapts an exact query-structural computation to the
 	// Evaluator API.
 	SproutPlan = engine.SproutPlan
+	// CompilePlan analyzes a plan IR and routes it to the cheapest
+	// applicable algorithm (safe plan, IQ scan, lineage + d-tree).
+	CompilePlan = plan.Compile
+	// PlanFromLegacy bridges the declarative pdb.Query structs into the
+	// plan IR, so existing query definitions route through the planner.
+	PlanFromLegacy = plan.FromLegacy
+	// PlanLineage evaluates a plan with the pipelined runtime,
+	// returning answers with lineage DNFs.
+	PlanLineage = plan.Lineage
+	// NewInterner returns an empty hash-consing clause interner (the
+	// pipelined runtime's join-merge deduplication).
+	NewInterner = formula.NewInterner
 )

@@ -1,17 +1,19 @@
-// Probabilistic TPC-H: generate a tuple-independent TPC-H database,
-// evaluate tractable and hard Boolean queries, and compute answer
-// confidences with the d-tree algorithm, the SPROUT safe plans and the
-// Karp-Luby baseline (Section VII-A in miniature).
+// Probabilistic TPC-H through the query planner: generate a
+// tuple-independent TPC-H database, declare queries as logical plans,
+// and let the planner route each to its cheapest algorithm — exact
+// safe plans for hierarchical queries, sorted scans for inequality
+// (IQ) queries, and lineage + d-tree confidence computation for the
+// #P-hard ones (Section VII-A in miniature).
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/formula"
-	"repro/internal/mc"
+	"repro/internal/engine"
+	"repro/internal/plan"
 	"repro/internal/tpch"
 )
 
@@ -19,63 +21,74 @@ func main() {
 	db := tpch.Generate(tpch.Config{SF: 0.002, ProbHigh: 1, Seed: 7})
 	fmt.Printf("generated TPC-H SF=0.002: %d lineitems, %d orders, %d parts\n\n",
 		db.Lineitem.Len(), db.Orders.Len(), db.Part.Len())
+	ctx := context.Background()
 
-	// Tractable: B17 (part ⋈ lineitem). d-tree(0) must match the SPROUT
-	// safe plan exactly.
-	b17 := db.B17(3, 7)
-	sprout := db.SproutB17(3, 7)
-	exact := core.ExactProbability(db.Space, b17)
-	fmt.Printf("B17 (tractable join): %d clauses\n", len(b17))
-	fmt.Printf("  d-tree(0): %.8f\n  SPROUT:    %.8f\n\n", exact, sprout)
-
-	// Tractable with inequality join: IQ6 chain pattern.
-	iq := db.IQ6(20, 40, 40)
-	iqSprout := db.SproutIQ6(20, 40, 40)
-	iqExact := core.ExactProbability(db.Space, iq)
-	fmt.Printf("IQ6 (chain inequality): %d clauses\n", len(iq))
-	fmt.Printf("  d-tree(0): %.8f\n  SPROUT-IQ: %.8f\n\n", iqExact, iqSprout)
-
-	// Hard: B21 (supplier/lineitem/orders/nation). Approximate with
-	// guarantees; compare algorithms.
-	b21 := db.B21(db.CommonNationKey())
-	fmt.Printf("B21 (#P-hard join): %d clauses, %d variables\n", len(b21), len(b21.Vars()))
-	run := func(name string, f func() (float64, string)) {
-		t0 := time.Now()
-		p, extra := f()
-		fmt.Printf("  %-22s %.6f  (%v%s)\n", name, p, time.Since(t0), extra)
+	// The planner's EXPLAIN: one routed plan per catalog query.
+	fmt.Println("planner routing:")
+	for _, entry := range db.Catalog() {
+		p := plan.Compile(entry.Node)
+		fmt.Printf("  %-5s %-13s %s\n", entry.Name, entry.Class, p.Explain())
 	}
-	run("d-tree rel ε=0.01:", func() (float64, string) {
-		r, err := core.Approx(db.Space, b21, core.Options{Eps: 0.01, Kind: core.Relative})
-		if err != nil {
-			panic(err)
-		}
-		return r.Estimate, fmt.Sprintf(", %d nodes, %d leaves closed", r.Nodes, r.LeavesClosed)
-	})
-	run("d-tree abs ε=0.001:", func() (float64, string) {
-		r, err := core.Approx(db.Space, b21, core.Options{Eps: 0.001, Kind: core.Absolute})
-		if err != nil {
-			panic(err)
-		}
-		return r.Estimate, ""
-	})
-	run("aconf ε=0.05:", func() (float64, string) {
-		r := mc.AConf(db.Space, b21, mc.AConfOptions{Eps: 0.05, Delta: 0.001, MaxSamples: 500_000},
-			rand.New(rand.NewSource(3)))
-		return r.Estimate, fmt.Sprintf(", %d samples", r.Samples)
-	})
 
-	// Per-answer confidences of a grouped query (Q15).
-	answers := db.Q15(0, tpch.MaxDate/3)
-	fmt.Printf("\nQ15: %d supplier answers; first 5 confidences:\n", len(answers))
+	// Tractable join: routed to a safe plan; d-tree(0) over the same
+	// query's lineage must agree exactly. (A Boolean query with no
+	// qualifying tuples returns no answers — certainly false.)
+	b17 := plan.Compile(db.B17IR(3, 7))
+	routed, err := b17.Answers(ctx, db.Space, nil)
+	if err != nil {
+		panic(err)
+	}
+	if lineage := b17.Lineage(); len(routed) == 0 {
+		fmt.Printf("\nB17 (tractable join): no answer (certainly false)\n")
+	} else {
+		exact := core.ExactProbability(db.Space, lineage[0].Lin)
+		fmt.Printf("\nB17 (tractable join): %d clauses, route=%s\n", len(lineage[0].Lin), b17.Route)
+		fmt.Printf("  safe plan:  %.8f\n  d-tree(0):  %.8f\n", routed[0].P, exact)
+	}
+
+	// Tractable inequality chain: routed to an IQ sorted scan.
+	iq6 := plan.Compile(db.IQ6IR(20, 40, 40))
+	iqAnswers, err := iq6.Answers(ctx, db.Space, nil)
+	if err != nil {
+		panic(err)
+	}
+	if iqLineage := iq6.Lineage(); len(iqAnswers) == 0 {
+		fmt.Printf("\nIQ6 (chain inequality): no answer (certainly false)\n")
+	} else {
+		fmt.Printf("\nIQ6 (chain inequality): %d clauses, route=%s\n", len(iqLineage[0].Lin), iq6.Route)
+		fmt.Printf("  IQ scan:    %.8f\n  d-tree(0):  %.8f\n",
+			iqAnswers[0].P, core.ExactProbability(db.Space, iqLineage[0].Lin))
+	}
+
+	// Hard query: the planner falls back to lineage + d-tree; pick the
+	// evaluator (here the ε-approximation with guarantees).
+	b21 := plan.Compile(db.B21IR(db.CommonNationKey()))
+	fmt.Printf("\nB21 (#P-hard join): route=%s\n", b21.Route)
+	t0 := time.Now()
+	hard, err := b21.Answers(ctx, db.Space, engine.Approx{Eps: 0.01, Kind: engine.Relative})
+	if err != nil {
+		panic(err)
+	}
+	if len(hard) == 0 {
+		fmt.Println("  no answer (certainly false)")
+	} else {
+		fmt.Printf("  d-tree rel ε=0.01: %.6f  (%v, %d nodes, bounds [%.6f, %.6f])\n",
+			hard[0].P, time.Since(t0), hard[0].Res.Nodes, hard[0].Res.Lo, hard[0].Res.Hi)
+	}
+
+	// Per-answer confidences of a grouped query (Q15): the safe route
+	// returns every supplier's exact confidence without lineage.
+	q15 := plan.Compile(db.Q15IR(0, tpch.MaxDate/3))
+	answers, err := q15.Answers(ctx, db.Space, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nQ15 via %s route: %d supplier answers; first 5 confidences:\n",
+		q15.Route, len(answers))
 	for i, a := range answers {
 		if i == 5 {
 			break
 		}
-		fmt.Printf("  supplier %-4d conf %.6f  (lineage %s)\n",
-			a.Vals[0], core.ExactProbability(db.Space, a.Lin), describe(a.Lin))
+		fmt.Printf("  supplier %-4d conf %.6f\n", a.Vals[0], a.P)
 	}
-}
-
-func describe(d formula.DNF) string {
-	return fmt.Sprintf("%d clauses", len(d))
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/obdd"
 	"repro/internal/pdb"
+	"repro/internal/plan"
 	"repro/internal/tpch"
 
 	"math/rand"
@@ -48,9 +49,9 @@ func TestEndToEndTPCH(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	plan := db.SproutQ15(0, tpch.MaxDate/3)
+	sproutPlan := db.SproutQ15(0, tpch.MaxDate/3)
 	byKey := map[pdb.Value]float64{}
-	for _, row := range plan.Rows {
+	for _, row := range sproutPlan.Rows {
 		byKey[row.Vals[0]] = row.P
 	}
 	for _, c := range confs {
@@ -60,6 +61,30 @@ func TestEndToEndTPCH(t *testing.T) {
 		}
 		if math.Abs(c.P-want) > 0.0001+1e-9 {
 			t.Fatalf("supplier %d: conf %v vs safe plan %v", c.Vals[0], c.P, want)
+		}
+	}
+
+	// The same declarative query through the planner: FromLegacy carries
+	// the structured equality join, so the planner routes it to an exact
+	// safe plan — no lineage, no evaluator — with identical answers.
+	routed := plan.Compile(plan.FromLegacy(q))
+	if routed.Route != plan.RouteSafe {
+		t.Fatalf("planner chose %v (%s), want safe", routed.Route, routed.Why)
+	}
+	planned, err := routed.Answers(context.Background(), db.Space, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(planned) != len(answers) {
+		t.Fatalf("planner %d answers, legacy %d", len(planned), len(answers))
+	}
+	for _, a := range planned {
+		want, ok := byKey[a.Vals[0]]
+		if !ok {
+			t.Fatalf("supplier %d missing from safe plan", a.Vals[0])
+		}
+		if math.Abs(a.P-want) > 1e-12 {
+			t.Fatalf("supplier %d: planner %v vs safe plan %v", a.Vals[0], a.P, want)
 		}
 	}
 }

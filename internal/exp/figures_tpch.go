@@ -1,11 +1,15 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"os"
 
 	"repro/internal/engine"
 	"repro/internal/formula"
 	"repro/internal/pdb"
+	"repro/internal/plan"
 	"repro/internal/tpch"
 )
 
@@ -33,11 +37,13 @@ const (
 	relErr005 = 0.05
 )
 
-// tractableQuery bundles one tractable query's lineage and SPROUT plan.
+// tractableQuery bundles one tractable query's lineage (materialized by
+// the pipelined runtime) and its IR, which the planner routes to the
+// exact structural algorithm for the "SPROUT" column.
 type tractableQuery struct {
-	name   string
-	dnfs   []formula.DNF
-	sprout func() float64
+	name string
+	dnfs []formula.DNF
+	node plan.Node
 }
 
 func tractableQueries(db *tpch.DB) []tractableQuery {
@@ -49,26 +55,34 @@ func tractableQueries(db *tpch.DB) []tractableQuery {
 		return out
 	}
 	return []tractableQuery{
-		{"1", answersToDNFs(db.Q1(q1Cutoff)), func() float64 {
-			t := db.SproutQ1(q1Cutoff)
-			sum := 0.0
-			for _, r := range t.Rows {
-				sum += r.P
-			}
-			return sum
-		}},
-		{"15", answersToDNFs(db.Q15(q15Lo, q15Hi)), func() float64 {
-			t := db.SproutQ15(q15Lo, q15Hi)
-			sum := 0.0
-			for _, r := range t.Rows {
-				sum += r.P
-			}
-			return sum
-		}},
-		{"B1", []formula.DNF{db.B1(b1Cutoff)}, func() float64 { return db.SproutB1(b1Cutoff) }},
-		{"B6", []formula.DNF{db.B6(300, 1200, 2, 6, 30)}, func() float64 { return db.SproutB6(300, 1200, 2, 6, 30) }},
-		{"B16", []formula.DNF{db.B16(b16Brand, b16Size)}, func() float64 { return db.SproutB16(b16Brand, b16Size) }},
-		{"B17", []formula.DNF{db.B17(b17Brand, b17Cont)}, func() float64 { return db.SproutB17(b17Brand, b17Cont) }},
+		{"1", answersToDNFs(db.Q1(q1Cutoff)), db.Q1IR(q1Cutoff)},
+		{"15", answersToDNFs(db.Q15(q15Lo, q15Hi)), db.Q15IR(q15Lo, q15Hi)},
+		{"B1", []formula.DNF{db.B1(b1Cutoff)}, db.B1IR(b1Cutoff)},
+		{"B6", []formula.DNF{db.B6(300, 1200, 2, 6, 30)}, db.B6IR(300, 1200, 2, 6, 30)},
+		{"B16", []formula.DNF{db.B16(b16Brand, b16Size)}, db.B16IR(b16Brand, b16Size)},
+		{"B17", []formula.DNF{db.B17(b17Brand, b17Cont)}, db.B17IR(b17Brand, b17Cont)},
+	}
+}
+
+// plannerExact returns the planner-routed exact computation of a
+// query's total answer confidence: compile, route (safe plan or IQ
+// scan), evaluate. Planning time is deliberately inside the closure —
+// the figure measures the routed system end to end. A routed-path
+// failure renders as NaN in the table and is logged with the query
+// name (the hand-written sprout closures this replaces could not fail).
+func plannerExact(s *formula.Space, name string, node plan.Node) func() float64 {
+	return func() float64 {
+		p := plan.Compile(node)
+		answers, err := p.Answers(context.Background(), s, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exp: planner-routed %s failed (%s): %v\n", name, p.Explain(), err)
+			return math.NaN()
+		}
+		sum := 0.0
+		for _, a := range answers {
+			sum += a.P
+		}
+		return sum
 	}
 }
 
@@ -85,6 +99,7 @@ func fig6Tractable(id string, probHigh float64, p Params) *Table {
 		Notes: []string{
 			"per-query time = sum over answer tuples of confidence-computation time",
 			"TO = budget exhausted before the guarantee was met",
+			"SPROUT = planner-routed exact path (safe plan / IQ scan chosen automatically)",
 		},
 	}
 	for _, q := range tractableQueries(db) {
@@ -108,7 +123,7 @@ func fig6Tractable(id string, probHigh float64, p Params) *Table {
 			dt = append(dt, runDtree(db.Space, d, relErr001, engine.Relative, p.DtreeMaxNodes, dtCache))
 			de = append(de, runDtreeExact(db.Space, d, p.DtreeMaxNodes, deCache))
 		}
-		sp := runMeasured(q.sprout)
+		sp := runMeasured(plannerExact(db.Space, q.name, q.node))
 		sa, sd, se := sumRuns(ac), sumRuns(dt), sumRuns(de)
 		exact := "-"
 		if len(q.dnfs) == 1 {
@@ -134,14 +149,14 @@ func Fig6c(p Params) *Table {
 	p = p.withDefaults()
 	db := tpch.Generate(tpch.Config{SF: p.SF, ProbHigh: 1, Seed: p.Seed})
 	type iq struct {
-		name   string
-		dnf    formula.DNF
-		sprout func() float64
+		name string
+		dnf  formula.DNF
+		node plan.Node
 	}
 	queries := []iq{
-		{"IQ B1", db.IQB1(iqPairE, iqPairD), func() float64 { return db.SproutIQB1(iqPairE, iqPairD) }},
-		{"IQ B4", db.IQB4(iqStarE, iqStarD, iqStarC), func() float64 { return db.SproutIQB4(iqStarE, iqStarD, iqStarC) }},
-		{"IQ 6", db.IQ6(iqStarE, iqStarD, iqStarC), func() float64 { return db.SproutIQ6(iqStarE, iqStarD, iqStarC) }},
+		{"IQ B1", db.IQB1(iqPairE, iqPairD), db.IQB1IR(iqPairE, iqPairD)},
+		{"IQ B4", db.IQB4(iqStarE, iqStarD, iqStarC), db.IQB4IR(iqStarE, iqStarD, iqStarC)},
+		{"IQ 6", db.IQ6(iqStarE, iqStarD, iqStarC), db.IQ6IR(iqStarE, iqStarD, iqStarC)},
 	}
 	t := &Table{
 		ID:     "fig6c",
@@ -156,10 +171,31 @@ func Fig6c(p Params) *Table {
 		ac := runAconf(db.Space, q.dnf, relErr001, p.Delta, p.AconfMaxSample, p.Seed)
 		dt := runDtree(db.Space, q.dnf, relErr001, engine.Relative, p.DtreeMaxNodes, nil)
 		de := runDtreeExact(db.Space, q.dnf, p.DtreeMaxNodes, nil)
-		sp := runMeasured(q.sprout)
+		sp := runMeasured(plannerExact(db.Space, q.name, q.node))
 		t.Rows = append(t.Rows, []string{
 			q.name, fmt.Sprint(len(q.dnf)),
 			ac.timeCell(), dt.timeCell(), de.timeCell(), sp.timeCell(), sp.estimate,
+		})
+	}
+	return t
+}
+
+// RoutingTable is the planner's EXPLAIN over the whole query catalog:
+// for each workload query, the paper class, the chosen route and the
+// planner's reasoning. The acceptance property — hierarchical → safe,
+// IQ → sorted scan, hard → d-tree — is what the routing test asserts.
+func RoutingTable(p Params) *Table {
+	p = p.withDefaults()
+	db := tpch.Generate(tpch.Config{SF: p.SF, ProbHigh: 1, Seed: p.Seed})
+	t := &Table{
+		ID:     "route",
+		Title:  fmt.Sprintf("planner routing over the TPC-H catalog, SF %g", p.SF),
+		Header: []string{"query", "class", "route", "why"},
+	}
+	for _, entry := range db.Catalog() {
+		pl := plan.Compile(entry.Node)
+		t.Rows = append(t.Rows, []string{
+			entry.Name, string(entry.Class), pl.Route.String(), pl.Why,
 		})
 	}
 	return t

@@ -1,0 +1,133 @@
+package formula
+
+// Interner hash-conses clauses: structurally equal clauses returned from
+// Intern or MergeInterned share one canonical backing array. The
+// pipelined query runtime routes every join-time clause merge through an
+// Interner, so a clause produced by many different tuple combinations —
+// the common case once duplicate-eliminating projections group lineage —
+// is materialized exactly once, and later DNF normalization compares
+// mostly-identical slices.
+//
+// An Interner is not safe for concurrent use; each query pipeline owns
+// one.
+type Interner struct {
+	m       map[uint64][]Clause
+	hits    int64
+	inserts int64
+}
+
+// NewInterner returns an empty clause interner.
+func NewInterner() *Interner {
+	return &Interner{m: make(map[uint64][]Clause)}
+}
+
+// Intern returns the canonical instance of c, storing c if it is new.
+func (in *Interner) Intern(c Clause) Clause {
+	h := c.Hash()
+	for _, cand := range in.m[h] {
+		if cand.Equal(c) {
+			in.hits++
+			return cand
+		}
+	}
+	in.m[h] = append(in.m[h], c)
+	in.inserts++
+	return c
+}
+
+// MergeInterned returns the canonical instance of the conjunction a ∧ b,
+// with ok = false if the clauses are inconsistent. The merged clause is
+// only allocated when it is not already interned: the candidate lookup
+// hashes the would-be merge in place (XOR of the distinct atom codes)
+// and verifies structurally against the stored clauses.
+func (in *Interner) MergeInterned(a, b Clause) (Clause, bool) {
+	h, n, ok := mergeHash(a, b)
+	if !ok {
+		return nil, false
+	}
+	for _, cand := range in.m[h] {
+		if len(cand) == n && mergeEqual(cand, a, b) {
+			in.hits++
+			return cand, true
+		}
+	}
+	merged, ok := a.Merge(b)
+	if !ok {
+		return nil, false
+	}
+	in.m[h] = append(in.m[h], merged)
+	in.inserts++
+	return merged, true
+}
+
+// Stats reports canonical-instance reuses and stored clauses.
+func (in *Interner) Stats() (hits, stored int64) { return in.hits, in.inserts }
+
+// mergeHash computes the hash and length the merge of a and b would
+// have, without allocating it; ok = false on inconsistency.
+func mergeHash(a, b Clause) (h uint64, n int, ok bool) {
+	i, j := 0, 0
+	var x uint64
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Var < b[j].Var:
+			x ^= atomCode(a[i])
+			i, n = i+1, n+1
+		case a[i].Var > b[j].Var:
+			x ^= atomCode(b[j])
+			j, n = j+1, n+1
+		default:
+			if a[i].Val != b[j].Val {
+				return 0, 0, false
+			}
+			x ^= atomCode(a[i])
+			i, j, n = i+1, j+1, n+1
+		}
+	}
+	for ; i < len(a); i++ {
+		x ^= atomCode(a[i])
+		n++
+	}
+	for ; j < len(b); j++ {
+		x ^= atomCode(b[j])
+		n++
+	}
+	h = (uint64(0x5bd1e995) + uint64(n)*0x100000001b3) ^ x // matches Clause.Hash
+	return h, n, true
+}
+
+// mergeEqual reports whether cand equals the merge of consistent a and b,
+// comparing atom by atom without materializing the merge.
+func mergeEqual(cand, a, b Clause) bool {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		var next Atom
+		switch {
+		case a[i].Var < b[j].Var:
+			next = a[i]
+			i++
+		case a[i].Var > b[j].Var:
+			next = b[j]
+			j++
+		default:
+			next = a[i]
+			i++
+			j++
+		}
+		if k >= len(cand) || cand[k] != next {
+			return false
+		}
+		k++
+	}
+	for ; i < len(a); i, k = i+1, k+1 {
+		if k >= len(cand) || cand[k] != a[i] {
+			return false
+		}
+	}
+	for ; j < len(b); j, k = j+1, k+1 {
+		if k >= len(cand) || cand[k] != b[j] {
+			return false
+		}
+	}
+	return k == len(cand)
+}

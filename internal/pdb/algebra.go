@@ -1,18 +1,68 @@
 package pdb
 
 import (
+	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 
 	"repro/internal/formula"
 )
 
+// Relations and their tuples are immutable once built: every operator
+// below returns output tuples whose Vals slices are freshly allocated
+// (never aliasing an input's), and never writes into its inputs. Callers
+// therefore may retain, share and re-query input relations freely.
+// Rename is the one deliberate exception — it is a header-only view over
+// the same tuples, documented there.
+
+// maxDerivedName caps derived relation names; longer compositions
+// collapse to a stable hash so nested joins cannot grow names without
+// bound.
+const maxDerivedName = 40
+
+// DerivedName builds the deterministic name of a derived relation from
+// an operator symbol and the operand names: "σ(R)" for one operand,
+// "(L⋈R)" for two. Results longer than maxDerivedName bytes collapse to
+// "op#xxxxxxxx", an FNV-1a hash of the full composition — stable across
+// runs, bounded regardless of nesting depth, and still unique enough for
+// errors and traces.
+func DerivedName(op string, parts ...string) string {
+	var b strings.Builder
+	if len(parts) == 1 {
+		b.WriteString(op)
+		b.WriteByte('(')
+		b.WriteString(parts[0])
+		b.WriteByte(')')
+	} else {
+		b.WriteByte('(')
+		for i, p := range parts {
+			if i > 0 {
+				b.WriteString(op)
+			}
+			b.WriteString(p)
+		}
+		b.WriteByte(')')
+	}
+	name := b.String()
+	if len(name) <= maxDerivedName {
+		return name
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return fmt.Sprintf("%s#%08x", op, h.Sum32())
+}
+
 // Select returns the tuples of r satisfying pred, lineage unchanged.
+// Output Vals are copies, so mutating an output tuple cannot corrupt r
+// (and vice versa).
 func Select(r *Relation, pred func(vals []Value) bool) *Relation {
-	out := &Relation{Name: r.Name + "_sel", Cols: r.Cols}
+	out := &Relation{Name: DerivedName("σ", r.Name), Cols: r.Cols}
 	for _, t := range r.Tups {
 		if pred(t.Vals) {
-			out.Tups = append(out.Tups, t)
+			vals := make([]Value, len(t.Vals))
+			copy(vals, t.Vals)
+			out.Tups = append(out.Tups, Tuple{Vals: vals, Lin: t.Lin})
 		}
 	}
 	return out
@@ -24,7 +74,7 @@ func Select(r *Relation, pred func(vals []Value) bool) *Relation {
 // (mutually exclusive BID alternatives can never co-exist).
 func EquiJoin(l, r *Relation, lcol, rcol int) *Relation {
 	out := &Relation{
-		Name: l.Name + "⋈" + r.Name,
+		Name: DerivedName("⋈", l.Name, r.Name),
 		Cols: joinCols(l, r),
 	}
 	index := make(map[Value][]int, len(r.Tups))
@@ -49,7 +99,7 @@ func EquiJoin(l, r *Relation, lcol, rcol int) *Relation {
 // the two tuples' values; used for the inequality joins of IQ queries.
 func ThetaJoin(l, r *Relation, pred func(lv, rv []Value) bool) *Relation {
 	out := &Relation{
-		Name: l.Name + "⋈θ" + r.Name,
+		Name: DerivedName("⋈θ", l.Name, r.Name),
 		Cols: joinCols(l, r),
 	}
 	for _, lt := range l.Tups {
@@ -88,8 +138,7 @@ func GroupProject(r *Relation, cols []int) []Answer {
 		vals := make([]Value, len(cols))
 		for i, c := range cols {
 			vals[i] = t.Vals[c]
-			keyBuf.WriteByte('|')
-			writeValue(&keyBuf, t.Vals[c])
+			WriteValueKey(&keyBuf, t.Vals[c])
 		}
 		k := keyBuf.String()
 		a, ok := groups[k]
@@ -126,6 +175,8 @@ func BooleanAnswer(r *Relation) (formula.DNF, bool) {
 }
 
 // Rename returns r with a new name and column names (for self-joins).
+// It is a header-only view: the returned relation shares r's tuples, so
+// it must be treated as immutable like every relation.
 func Rename(r *Relation, name string, cols []string) *Relation {
 	if len(cols) != len(r.Cols) {
 		panic("pdb: Rename column count mismatch")
@@ -151,11 +202,29 @@ func concatVals(a, b []Value) []Value {
 	return out
 }
 
-func writeValue(b *strings.Builder, v Value) {
+// WriteValueKey appends the canonical grouping-key encoding of v
+// ('|' then 8 little-endian bytes). GroupProject groups and orders
+// answers by concatenations of this encoding; the plan runtime and the
+// safe-plan executor share it so routed answer order never diverges
+// from the legacy evaluator's.
+func WriteValueKey(b *strings.Builder, v Value) {
 	u := uint64(v)
-	var buf [8]byte
-	for i := range buf {
-		buf[i] = byte(u >> (8 * i))
+	var buf [9]byte
+	buf[0] = '|'
+	for i := 1; i < len(buf); i++ {
+		buf[i] = byte(u)
+		u >>= 8
 	}
 	b.Write(buf[:])
+}
+
+// ValsKey returns the grouping key of a value vector (the concatenated
+// WriteValueKey encoding).
+func ValsKey(vals []Value) string {
+	var b strings.Builder
+	b.Grow(len(vals) * 9)
+	for _, v := range vals {
+		WriteValueKey(&b, v)
+	}
+	return b.String()
 }

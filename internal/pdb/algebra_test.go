@@ -197,3 +197,67 @@ func TestGroupProjectDeterministicOrder(t *testing.T) {
 		t.Fatalf("answer 1 should have 2 clauses, got %v", answers[0].Lin)
 	}
 }
+
+func TestOperatorsDoNotAliasInputVals(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+
+	sel := Select(r, func(v []Value) bool { return true })
+	sel.Tups[0].Vals[0] = -99
+	if r.Tups[0].Vals[0] != 1 {
+		t.Fatal("mutating a Select output corrupted the input relation")
+	}
+
+	j := EquiJoin(r, u, 1, 0)
+	j.Tups[0].Vals[0] = -99
+	if r.Tups[0].Vals[0] != 1 || u.Tups[0].Vals[0] != 10 {
+		t.Fatal("mutating an EquiJoin output corrupted an input relation")
+	}
+
+	th := ThetaJoin(r, u, func(lv, rv []Value) bool { return true })
+	th.Tups[0].Vals[0] = -99
+	if r.Tups[0].Vals[0] != 1 {
+		t.Fatal("mutating a ThetaJoin output corrupted the input relation")
+	}
+
+	answers := GroupProject(r, []int{0})
+	answers[0].Vals[0] = -99
+	for _, tup := range r.Tups {
+		if tup.Vals[0] == -99 {
+			t.Fatal("mutating a GroupProject answer corrupted the input relation")
+		}
+	}
+}
+
+func TestDerivedNamesDeterministicAndBounded(t *testing.T) {
+	if got := DerivedName("σ", "R"); got != "σ(R)" {
+		t.Fatalf("select name %q", got)
+	}
+	if got := DerivedName("⋈", "R", "T"); got != "(R⋈T)" {
+		t.Fatalf("join name %q", got)
+	}
+	// Nested compositions stay bounded and deterministic.
+	name := "lineitem"
+	for i := 0; i < 40; i++ {
+		name = DerivedName("⋈", name, "partsupp")
+		if len(name) > maxDerivedName {
+			t.Fatalf("iteration %d: name %q exceeds cap", i, name)
+		}
+	}
+	again := "lineitem"
+	for i := 0; i < 40; i++ {
+		again = DerivedName("⋈", again, "partsupp")
+	}
+	if name != again {
+		t.Fatalf("derived names not deterministic: %q vs %q", name, again)
+	}
+	// Operators keep using the scheme.
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	if got := EquiJoin(r, u, 1, 0).Name; got != "(R⋈T)" {
+		t.Fatalf("EquiJoin name %q", got)
+	}
+	if got := Select(r, func([]Value) bool { return true }).Name; got != "σ(R)" {
+		t.Fatalf("Select name %q", got)
+	}
+}

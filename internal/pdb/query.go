@@ -9,9 +9,14 @@ import "fmt"
 // answer tuples with lineage DNFs — the relational encoding of DNFs the
 // confidence-computation algorithms consume.
 //
-// The evaluator is intentionally simple (left-deep plans, hash joins for
-// equality predicates, nested loops otherwise); it is the query-engine
-// substrate of the experiments, not a query optimizer.
+// New code should route queries through the planner instead:
+// plan.FromLegacy(q) converts a Query into the plan IR, where
+// plan.Compile picks the cheapest algorithm (safe plan, IQ sorted scan,
+// or the pipelined lineage runtime) and plan.Lineage reproduces this
+// evaluator's answers with streaming operators. Evaluate remains the
+// eager reference implementation the planner is property-tested
+// against: left-deep plans, fully materialized intermediates, hash
+// joins for equality predicates, nested loops otherwise.
 type Query struct {
 	From    []FromItem
 	Project []ColRef // empty means Boolean query

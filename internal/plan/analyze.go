@@ -1,0 +1,190 @@
+package plan
+
+import (
+	"repro/internal/formula"
+	"repro/internal/pdb"
+)
+
+// Structural analysis: the planner walks the IR once, mapping every
+// output column back to its base-relation column (its origin), and
+// collecting the equality and inequality join conditions as edges
+// between origins. Opaque predicates anywhere except directly over a
+// scan taint the analysis — the structural routes need to *see* the
+// conditions. Analysis is pure plan-shape work; the per-tuple event
+// independence check (below) is the only part that reads data.
+
+// origin identifies a base-relation column: leaf index and column.
+type origin struct {
+	leaf, col int
+}
+
+// leafInfo is one base relation with its pushed-down filters. The
+// filters are applied in place wherever the leaf's qualifying tuples
+// are consumed (independence check, safe-plan leaf tables, IQ levels) —
+// no filtered copy of the relation is ever materialized.
+type leafInfo struct {
+	rel     *pdb.Relation
+	filters []func([]pdb.Value) bool
+}
+
+// equality / inequality edges between origins. For ineqEdge the
+// semantics are left < right (strict).
+type eqEdge struct{ a, b origin }
+type ineqEdge struct{ left, right origin }
+
+// analysis is the extracted query graph.
+type analysis struct {
+	leaves []leafInfo
+	eqs    []eqEdge
+	ineqs  []ineqEdge
+	// head is the origin of each GroupLineage output column.
+	head []origin
+	// taint, when non-empty, names the IR feature that blocks the
+	// structural routes (opaque predicate, residual join condition, …).
+	taint string
+}
+
+// analyze extracts the query graph under a GroupLineage root. ok is
+// false when the plan shape itself is unsupported (never — every shape
+// degrades to a taint reason instead).
+func analyze(g *GroupLineage) *analysis {
+	a := &analysis{}
+	cols := a.walk(g.Input)
+	for _, c := range g.Cols {
+		a.head = append(a.head, cols[c])
+	}
+	return a
+}
+
+// walk returns the origin of every output column of n, registering
+// leaves and edges on the way.
+func (a *analysis) walk(n Node) []origin {
+	switch t := n.(type) {
+	case *Scan:
+		li := len(a.leaves)
+		a.leaves = append(a.leaves, leafInfo{rel: t.Rel})
+		out := make([]origin, len(t.Rel.Cols))
+		for i := range out {
+			out[i] = origin{li, i}
+		}
+		return out
+	case *Select:
+		// A filter directly over a leaf chain is pushed into the leaf;
+		// anywhere else it is an opaque predicate over derived tuples.
+		out := a.walk(t.Input)
+		if isLeafChain(t.Input) && identityOrigins(out) {
+			a.leaves[out[0].leaf].filters = append(a.leaves[out[0].leaf].filters, t.Pred)
+		} else {
+			a.mark("selection over a derived relation")
+		}
+		return out
+	case *EquiJoin:
+		l := a.walk(t.Left)
+		r := a.walk(t.Right)
+		a.eqs = append(a.eqs, eqEdge{l[t.LeftCol], r[t.RightCol]})
+		if t.On != nil {
+			a.mark("residual equi-join predicate")
+		}
+		return append(l, r...)
+	case *ThetaJoin:
+		l := a.walk(t.Left)
+		r := a.walk(t.Right)
+		if t.Less != nil {
+			a.ineqs = append(a.ineqs, ineqEdge{l[t.Less.LeftCol], r[t.Less.RightCol]})
+		}
+		if t.Pred != nil {
+			a.mark("opaque theta-join predicate")
+		}
+		if t.Less == nil && t.Pred == nil {
+			a.mark("theta join without condition")
+		}
+		return append(l, r...)
+	case *Project:
+		in := a.walk(t.Input)
+		out := make([]origin, len(t.Cols))
+		for i, c := range t.Cols {
+			out[i] = in[c]
+		}
+		return out
+	case *GroupLineage:
+		a.mark("nested GroupLineage")
+		return make([]origin, len(t.Cols))
+	}
+	a.mark("unknown node")
+	return nil
+}
+
+func (a *analysis) mark(reason string) {
+	if a.taint == "" {
+		a.taint = reason
+	}
+}
+
+// isLeafChain reports whether n is a Scan, possibly under Selects.
+func isLeafChain(n Node) bool {
+	switch t := n.(type) {
+	case *Scan:
+		return true
+	case *Select:
+		return isLeafChain(t.Input)
+	}
+	return false
+}
+
+// identityOrigins reports whether cols is exactly one leaf's columns in
+// order — i.e. the node is a full-width view of that leaf.
+func identityOrigins(cols []origin) bool {
+	if len(cols) == 0 {
+		return false
+	}
+	leaf := cols[0].leaf
+	for i, o := range cols {
+		if o.leaf != leaf || o.col != i {
+			return false
+		}
+	}
+	return true
+}
+
+// eventIndependent reports whether the qualifying tuples of all leaves
+// carry pairwise variable-disjoint lineage — the precondition of both
+// structural routes. Tuple-independent relations satisfy it by
+// construction; BID relations only when at most one alternative of each
+// block survives the filters (in which case treating the survivor as an
+// independent tuple is exact); shared variables across relations never
+// do. The check streams over the base tuples applying filters in place
+// — nothing is materialized, so queries that end up on the lineage
+// route pay no copying here.
+func eventIndependent(leaves []leafInfo) bool {
+	seen := make(map[formula.Var]struct{})
+	for i := range leaves {
+		l := &leaves[i]
+	tuples:
+		for _, t := range l.rel.Tups {
+			for _, f := range l.filters {
+				if !f(t.Vals) {
+					continue tuples
+				}
+			}
+			for _, at := range t.Lin {
+				if _, dup := seen[at.Var]; dup {
+					return false
+				}
+				seen[at.Var] = struct{}{}
+			}
+		}
+	}
+	return true
+}
+
+// selfJoinFree reports whether no base relation appears twice.
+func selfJoinFree(leaves []leafInfo) bool {
+	seen := make(map[*pdb.Relation]struct{}, len(leaves))
+	for i := range leaves {
+		if _, dup := seen[leaves[i].rel]; dup {
+			return false
+		}
+		seen[leaves[i].rel] = struct{}{}
+	}
+	return true
+}

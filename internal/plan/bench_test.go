@@ -1,0 +1,85 @@
+package plan_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/tpch"
+)
+
+// BenchmarkPlannerTPCH measures the routed end-to-end cost of the whole
+// catalog: compile (analysis + routing) plus execution along the chosen
+// route, with the hard queries bounded by a node budget (exhausting it
+// is a valid outcome — the answer then carries partial bounds, and the
+// bench measures that bounded work deterministically). This is the
+// perf-trajectory smoke benchmark CI records (BENCH_planner.json).
+func BenchmarkPlannerTPCH(b *testing.B) {
+	db := tpch.Generate(tpch.Config{SF: 0.001, ProbHigh: 1, Seed: 42})
+	catalog := db.Catalog()
+	ev := engine.Approx{Eps: 0.01, Kind: engine.Relative,
+		Budget: engine.Budget{MaxNodes: 200_000, MaxWork: 1_600_000}}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, entry := range catalog {
+			p := plan.Compile(entry.Node)
+			if _, err := p.Answers(ctx, db.Space, ev); err != nil && !errors.Is(err, engine.ErrBudget) {
+				b.Fatalf("%s: %v", entry.Name, err)
+			}
+		}
+	}
+}
+
+// BenchmarkSafeVsDtree is the head-to-head the planner's safe route
+// buys on TPC-H Q1/B6-style queries: the same query answered by the
+// planner-chosen extensional plan versus forced lineage + exact d-tree
+// evaluation.
+func BenchmarkSafeVsDtree(b *testing.B) {
+	db := tpch.Generate(tpch.Config{SF: 0.002, ProbHigh: 1, Seed: 42})
+	ctx := context.Background()
+	queries := []struct {
+		name string
+		node plan.Node
+	}{
+		{"Q1", db.Q1IR(tpch.MaxDate * 3 / 4)},
+		{"B6", db.B6IR(300, 1200, 2, 6, 30)},
+	}
+	for _, q := range queries {
+		b.Run(q.name+"/planner-safe", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := plan.Compile(q.node)
+				if p.Route != plan.RouteSafe {
+					b.Fatalf("routed %v: %s", p.Route, p.Why)
+				}
+				if _, err := p.Answers(ctx, db.Space, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q.name+"/forced-dtree", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := plan.CompileWith(q.node, plan.Options{DisableSafe: true, DisableIQ: true})
+				if _, err := p.Answers(ctx, db.Space, engine.Exact{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelinedLineage isolates the streaming runtime: lineage
+// materialization for a grouped join query through the pipelined
+// cursors (build-side buffering only, interned clause merges).
+func BenchmarkPipelinedLineage(b *testing.B) {
+	db := tpch.Generate(tpch.Config{SF: 0.002, ProbHigh: 1, Seed: 42})
+	node := db.Q15IR(0, tpch.MaxDate/3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if answers := plan.Lineage(node); len(answers) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}

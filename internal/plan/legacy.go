@@ -1,0 +1,60 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/pdb"
+)
+
+// FromLegacy converts a declarative pdb.Query into the plan IR,
+// reproducing the legacy evaluator's left-deep shape: the first item is
+// the leading relation, every later item joins against the accumulated
+// left side, per-item selections become leaf filters, and the
+// projection becomes the GroupLineage root (empty = Boolean). The
+// result routes through the planner like any other plan; equality
+// conditions survive as structured EquiJoins, while opaque On
+// predicates keep the query on the lineage route, exactly as the
+// legacy path would have computed it.
+//
+// A query with no items converts to nil (no answers).
+func FromLegacy(q *pdb.Query) Node {
+	if q == nil || len(q.From) == 0 {
+		return nil
+	}
+	offsets := make([]int, len(q.From))
+	var acc Node = legacyLeaf(q.From[0])
+	width := len(q.From[0].Rel.Cols)
+	for i := 1; i < len(q.From); i++ {
+		item := q.From[i]
+		right := legacyLeaf(item)
+		offsets[i] = width
+		switch {
+		case item.EquiRight != "":
+			lcol := offsets[item.EquiLeft.Item] + q.From[item.EquiLeft.Item].Rel.MustCol(item.EquiLeft.Col)
+			acc = &EquiJoin{
+				Left: acc, Right: right,
+				LeftCol:  lcol,
+				RightCol: item.Rel.MustCol(item.EquiRight),
+				On:       item.On,
+			}
+		case item.On != nil:
+			acc = &ThetaJoin{Left: acc, Right: right, Pred: item.On}
+		default:
+			panic(fmt.Sprintf("pdb: join item %d has no condition", i))
+		}
+		width += len(item.Rel.Cols)
+	}
+	cols := make([]int, len(q.Project))
+	for i, ref := range q.Project {
+		cols[i] = offsets[ref.Item] + q.From[ref.Item].Rel.MustCol(ref.Col)
+	}
+	return &GroupLineage{Input: acc, Cols: cols}
+}
+
+func legacyLeaf(item pdb.FromItem) Node {
+	var n Node = &Scan{Rel: item.Rel}
+	if item.Select != nil {
+		n = &Select{Input: n, Pred: item.Select}
+	}
+	return n
+}

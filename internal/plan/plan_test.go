@@ -1,0 +1,333 @@
+package plan
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/formula"
+	"repro/internal/pdb"
+)
+
+func tinyRelations(s *formula.Space) (*pdb.Relation, *pdb.Relation) {
+	r := pdb.NewTupleIndependent(s, "R", []string{"a", "b"},
+		[][]pdb.Value{{1, 10}, {2, 20}, {3, 20}},
+		[]float64{0.5, 0.6, 0.7}, 0)
+	t := pdb.NewTupleIndependent(s, "T", []string{"b", "c"},
+		[][]pdb.Value{{10, 100}, {20, 200}, {20, 300}},
+		[]float64{0.2, 0.3, 0.4}, 1)
+	return r, t
+}
+
+// answersEqual compares answers by value and exact lineage confidence.
+func answersEqual(t *testing.T, s *formula.Space, got, want []pdb.Answer) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d answers, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i].Vals) != len(want[i].Vals) {
+			t.Fatalf("answer %d: vals %v vs %v", i, got[i].Vals, want[i].Vals)
+		}
+		for j := range got[i].Vals {
+			if got[i].Vals[j] != want[i].Vals[j] {
+				t.Fatalf("answer %d: vals %v vs %v", i, got[i].Vals, want[i].Vals)
+			}
+		}
+		gp := core.ExactProbability(s, got[i].Lin)
+		wp := core.ExactProbability(s, want[i].Lin)
+		if math.Abs(gp-wp) > 1e-12 {
+			t.Fatalf("answer %d: confidence %v vs %v", i, gp, wp)
+		}
+	}
+}
+
+func TestPlannerPipelineMatchesLegacyEvaluator(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	queries := []*pdb.Query{
+		{ // grouped equi join
+			From: []pdb.FromItem{
+				{Rel: r},
+				{Rel: u, EquiLeft: pdb.ColRef{Item: 0, Col: "b"}, EquiRight: "b"},
+			},
+			Project: []pdb.ColRef{{Item: 1, Col: "c"}},
+		},
+		{ // Boolean with selection
+			From: []pdb.FromItem{
+				{Rel: r, Select: func(v []pdb.Value) bool { return v[1] == 20 }},
+				{Rel: u, EquiLeft: pdb.ColRef{Item: 0, Col: "b"}, EquiRight: "b"},
+			},
+		},
+		{ // theta join
+			From: []pdb.FromItem{
+				{Rel: r},
+				{Rel: u, On: func(l, rv []pdb.Value) bool { return l[0] < rv[1] }},
+			},
+		},
+		{ // equi join with residual predicate
+			From: []pdb.FromItem{
+				{Rel: r},
+				{
+					Rel: u, EquiLeft: pdb.ColRef{Item: 0, Col: "b"}, EquiRight: "b",
+					On: func(l, rv []pdb.Value) bool { return rv[1] > 200 },
+				},
+			},
+		},
+	}
+	for i, q := range queries {
+		got := Lineage(FromLegacy(q))
+		want := q.Evaluate()
+		t.Logf("query %d: %d answers", i, len(want))
+		answersEqual(t, s, got, want)
+	}
+}
+
+func TestPlannerPipelineEmptyAndNil(t *testing.T) {
+	if got := Lineage(nil); got != nil {
+		t.Fatalf("nil root: %v", got)
+	}
+	if got := Lineage(FromLegacy(&pdb.Query{})); got != nil {
+		t.Fatalf("empty query: %v", got)
+	}
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	q := &pdb.Query{From: []pdb.FromItem{
+		{Rel: r, Select: func(v []pdb.Value) bool { return false }},
+		{Rel: u, EquiLeft: pdb.ColRef{Item: 0, Col: "b"}, EquiRight: "b"},
+	}}
+	if got := Lineage(FromLegacy(q)); len(got) != 0 {
+		t.Fatalf("filtered-out query: %v", got)
+	}
+}
+
+// routedVsLineage checks the routed answers match evaluating the
+// materialized lineage exactly.
+func routedVsLineage(t *testing.T, s *formula.Space, p *Plan) {
+	t.Helper()
+	got, err := p.Answers(context.Background(), s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Lineage()
+	if len(got) != len(want) {
+		t.Fatalf("routed %d answers, lineage %d", len(got), len(want))
+	}
+	for i := range got {
+		for j := range got[i].Vals {
+			if got[i].Vals[j] != want[i].Vals[j] {
+				t.Fatalf("answer %d: vals %v vs %v", i, got[i].Vals, want[i].Vals)
+			}
+		}
+		wp := core.ExactProbability(s, want[i].Lin)
+		if math.Abs(got[i].P-wp) > 1e-12 {
+			t.Fatalf("answer %d: routed %v vs lineage-exact %v", i, got[i].P, wp)
+		}
+	}
+}
+
+func TestPlannerRoutesSingleRelationToSafe(t *testing.T) {
+	s := formula.NewSpace()
+	r, _ := tinyRelations(s)
+	root := &GroupLineage{
+		Input: &Select{Input: &Scan{Rel: r}, Pred: func(v []pdb.Value) bool { return v[1] >= 10 }},
+		Cols:  []int{1},
+	}
+	p := Compile(root)
+	if p.Route != RouteSafe {
+		t.Fatalf("route %v (%s), want safe", p.Route, p.Why)
+	}
+	routedVsLineage(t, s, p)
+}
+
+func TestPlannerRoutesHierarchicalJoinToSafe(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	// Boolean q() :- R(a,b), T(b,c): hierarchical (b in both subgoals).
+	root := &GroupLineage{Input: &EquiJoin{
+		Left: &Scan{Rel: r}, Right: &Scan{Rel: u}, LeftCol: 1, RightCol: 0,
+	}}
+	p := Compile(root)
+	if p.Route != RouteSafe {
+		t.Fatalf("route %v (%s), want safe", p.Route, p.Why)
+	}
+	routedVsLineage(t, s, p)
+
+	// Grouped on the join variable: q(b) :- R(a,b), T(b,c).
+	root2 := &GroupLineage{Input: &EquiJoin{
+		Left: &Scan{Rel: r}, Right: &Scan{Rel: u}, LeftCol: 1, RightCol: 0,
+	}, Cols: []int{1}}
+	p2 := Compile(root2)
+	if p2.Route != RouteSafe {
+		t.Fatalf("route %v (%s), want safe", p2.Route, p2.Why)
+	}
+	routedVsLineage(t, s, p2)
+}
+
+func TestPlannerRoutesChainAndStarToIQ(t *testing.T) {
+	s := formula.NewSpace()
+	r := pdb.NewTupleIndependent(s, "R", []string{"x"},
+		[][]pdb.Value{{1}, {5}, {9}}, []float64{0.5, 0.4, 0.3}, 0)
+	u := pdb.NewTupleIndependent(s, "U", []string{"y"},
+		[][]pdb.Value{{3}, {7}}, []float64{0.6, 0.2}, 1)
+	w := pdb.NewTupleIndependent(s, "W", []string{"z"},
+		[][]pdb.Value{{4}, {8}}, []float64{0.7, 0.1}, 2)
+
+	chain := &GroupLineage{Input: &ThetaJoin{
+		Left: &ThetaJoin{
+			Left: &Scan{Rel: r}, Right: &Scan{Rel: u},
+			Less: &Less{LeftCol: 0, RightCol: 0},
+		},
+		Right: &Scan{Rel: w},
+		Less:  &Less{LeftCol: 1, RightCol: 0}, // u.y < w.z
+	}}
+	p := Compile(chain)
+	if p.Route != RouteIQ || p.iq.kind != "chain" {
+		t.Fatalf("route %v kind %v (%s), want IQ chain", p.Route, p.iq, p.Why)
+	}
+	routedVsLineage(t, s, p)
+
+	star := &GroupLineage{Input: &ThetaJoin{
+		Left: &ThetaJoin{
+			Left: &Scan{Rel: r}, Right: &Scan{Rel: u},
+			Less: &Less{LeftCol: 0, RightCol: 0},
+		},
+		Right: &Scan{Rel: w},
+		Less:  &Less{LeftCol: 0, RightCol: 0}, // r.x < w.z
+	}}
+	p2 := Compile(star)
+	if p2.Route != RouteIQ || p2.iq.kind != "star" {
+		t.Fatalf("route %v (%s), want IQ star", p2.Route, p2.Why)
+	}
+	routedVsLineage(t, s, p2)
+}
+
+func TestPlannerRoutesHardPatternToLineage(t *testing.T) {
+	s := formula.NewSpace()
+	// The #P-hard pattern q() :- R(x), S(x,y), U(y).
+	r := pdb.NewTupleIndependent(s, "R", []string{"x"},
+		[][]pdb.Value{{1}, {2}}, []float64{0.5, 0.6}, 0)
+	sv := pdb.NewTupleIndependent(s, "S", []string{"x", "y"},
+		[][]pdb.Value{{1, 7}, {2, 8}, {1, 8}}, []float64{0.3, 0.4, 0.5}, 1)
+	u := pdb.NewTupleIndependent(s, "U", []string{"y"},
+		[][]pdb.Value{{7}, {8}}, []float64{0.2, 0.9}, 2)
+	root := &GroupLineage{Input: &EquiJoin{
+		Left: &EquiJoin{
+			Left: &Scan{Rel: r}, Right: &Scan{Rel: sv}, LeftCol: 0, RightCol: 0,
+		},
+		Right: &Scan{Rel: u}, LeftCol: 2, RightCol: 0, // s.y = u.y
+	}}
+	p := Compile(root)
+	if p.Route != RouteLineage {
+		t.Fatalf("route %v (%s), want lineage", p.Route, p.Why)
+	}
+	routedVsLineage(t, s, p)
+}
+
+func TestPlannerRefusesCorrelatedEvents(t *testing.T) {
+	s := formula.NewSpace()
+	// Two BID alternatives of one block share a variable: events are
+	// correlated, structural routes must refuse.
+	b := pdb.NewBID(s, "B", []string{"k"}, [][]pdb.BIDAlternative{{
+		{Vals: []pdb.Value{1}, Prob: 0.4},
+		{Vals: []pdb.Value{2}, Prob: 0.6},
+	}}, 0)
+	p := Compile(&GroupLineage{Input: &Scan{Rel: b}})
+	if p.Route != RouteLineage {
+		t.Fatalf("route %v (%s), want lineage for BID events", p.Route, p.Why)
+	}
+	routedVsLineage(t, s, p)
+
+	// But a BID block reduced to one alternative by a filter is an
+	// independent event — safe again.
+	p2 := Compile(&GroupLineage{Input: &Select{
+		Input: &Scan{Rel: b},
+		Pred:  func(v []pdb.Value) bool { return v[0] == 1 },
+	}})
+	if p2.Route != RouteSafe {
+		t.Fatalf("route %v (%s), want safe for single surviving alternative", p2.Route, p2.Why)
+	}
+	routedVsLineage(t, s, p2)
+}
+
+func TestPlannerRefusesSelfJoin(t *testing.T) {
+	s := formula.NewSpace()
+	r, _ := tinyRelations(s)
+	p := Compile(&GroupLineage{Input: &EquiJoin{
+		Left: &Scan{Rel: r}, Right: &Scan{Rel: r}, LeftCol: 1, RightCol: 1,
+	}})
+	if p.Route != RouteLineage {
+		t.Fatalf("route %v (%s), want lineage for self-join", p.Route, p.Why)
+	}
+	routedVsLineage(t, s, p)
+}
+
+func TestPlannerOpaquePredicatesForceLineage(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	p := Compile(&GroupLineage{Input: &ThetaJoin{
+		Left: &Scan{Rel: r}, Right: &Scan{Rel: u},
+		Pred: func(l, rv []pdb.Value) bool { return l[1] == rv[0] },
+	}})
+	if p.Route != RouteLineage {
+		t.Fatalf("route %v (%s), want lineage for opaque predicate", p.Route, p.Why)
+	}
+	routedVsLineage(t, s, p)
+}
+
+func TestPlannerOptionsDisableRoutes(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	root := &GroupLineage{Input: &EquiJoin{
+		Left: &Scan{Rel: r}, Right: &Scan{Rel: u}, LeftCol: 1, RightCol: 0,
+	}}
+	p := CompileWith(root, Options{DisableSafe: true})
+	if p.Route != RouteLineage {
+		t.Fatalf("route %v, want lineage with safe disabled", p.Route)
+	}
+	routedVsLineage(t, s, p)
+}
+
+func TestPlannerAnswersUsesEvaluatorOnLineageRoute(t *testing.T) {
+	s := formula.NewSpace()
+	r, _ := tinyRelations(s)
+	p := CompileWith(&GroupLineage{Input: &Scan{Rel: r}, Cols: []int{1}},
+		Options{DisableSafe: true, DisableIQ: true})
+	got, err := p.Answers(context.Background(), s,
+		engine.Approx{Eps: 1e-9, Kind: engine.Absolute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Lineage()
+	if len(got) != len(want) {
+		t.Fatalf("%d answers, want %d", len(got), len(want))
+	}
+	for i := range got {
+		wp := core.ExactProbability(s, want[i].Lin)
+		if math.Abs(got[i].P-wp) > 1e-6 {
+			t.Fatalf("answer %d: %v vs %v", i, got[i].P, wp)
+		}
+	}
+}
+
+func TestPlannerNamesAndSchema(t *testing.T) {
+	s := formula.NewSpace()
+	r, u := tinyRelations(s)
+	j := &EquiJoin{Left: &Scan{Rel: r}, Right: &Scan{Rel: u}, LeftCol: 1, RightCol: 0}
+	if got := Name(j); got != "(R⋈T)" {
+		t.Fatalf("name %q", got)
+	}
+	sch := Schema(j)
+	if len(sch) != 4 || sch[0] != "R.a" || sch[3] != "T.c" {
+		t.Fatalf("schema %v", sch)
+	}
+	if Width(j) != 4 {
+		t.Fatalf("width %d", Width(j))
+	}
+	pr := &Project{Input: j, Cols: []int{3, 0}}
+	if got := Schema(pr); got[0] != "T.c" || got[1] != "R.a" {
+		t.Fatalf("project schema %v", got)
+	}
+}

@@ -1,0 +1,188 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/formula"
+	"repro/internal/pdb"
+)
+
+// Route identifies which execution path the planner chose.
+type Route int
+
+const (
+	// RouteLineage materializes lineage DNFs through the pipelined
+	// runtime and hands them to an engine.Evaluator (the general,
+	// possibly #P-hard path).
+	RouteLineage Route = iota
+	// RouteSafe evaluates an extensional safe plan — exact, no lineage
+	// (hierarchical queries without self-joins).
+	RouteSafe
+	// RouteIQ evaluates an inequality sorted scan — exact, no lineage
+	// (tractable IQ chain/star queries).
+	RouteIQ
+)
+
+func (r Route) String() string {
+	switch r {
+	case RouteSafe:
+		return "safe"
+	case RouteIQ:
+		return "iq"
+	default:
+		return "d-tree"
+	}
+}
+
+// Options tunes planning.
+type Options struct {
+	// DisableSafe and DisableIQ force the corresponding structural
+	// route off (benchmarks and figures use them to compare against the
+	// forced lineage path).
+	DisableSafe bool
+	DisableIQ   bool
+}
+
+// Plan is a routed query: the logical root plus the planner's decision
+// and, for the structural routes, the compiled exact evaluator.
+type Plan struct {
+	Root Node
+	// Route is the chosen execution path.
+	Route Route
+	// Why explains the decision (or why the structural routes were
+	// rejected), for traces and EXPLAIN-style output.
+	Why string
+
+	safe *safePlan
+	iq   *iqPlan
+}
+
+// Compile analyzes root and chooses the cheapest applicable route:
+// safe plan, IQ sorted scan, then the lineage pipeline. A nil root
+// yields an empty lineage-routed plan.
+func Compile(root Node) *Plan {
+	return CompileWith(root, Options{})
+}
+
+// CompileWith is Compile with planner options.
+func CompileWith(root Node, opt Options) *Plan {
+	p := &Plan{Root: root, Route: RouteLineage}
+	if root == nil {
+		p.Why = "empty query"
+		return p
+	}
+	g, ok := root.(*GroupLineage)
+	if !ok {
+		g = &GroupLineage{Input: root}
+	}
+	a := analyze(g)
+	if len(a.leaves) == 0 {
+		p.Why = "no relations"
+		return p
+	}
+	// Rule the structural routes out by plan shape and options before
+	// paying the per-tuple independence scan.
+	if opt.DisableSafe && opt.DisableIQ {
+		p.Why = "structural routes disabled"
+		return p
+	}
+	if a.taint != "" {
+		p.Why = fmt.Sprintf("lineage + d-tree (%s)", a.taint)
+		return p
+	}
+	if !eventIndependent(a.leaves) {
+		p.Why = "correlated tuple events (shared variables) require lineage"
+		return p
+	}
+	var safeReason, iqReason string
+	if opt.DisableSafe {
+		safeReason = "safe route disabled"
+	} else if sp, reason := compileSafe(a); sp != nil {
+		p.Route, p.safe = RouteSafe, sp
+		p.Why = sp.desc
+		return p
+	} else {
+		safeReason = reason
+	}
+	if opt.DisableIQ {
+		iqReason = "IQ route disabled"
+	} else if iq, reason := compileIQ(a); iq != nil {
+		p.Route, p.iq = RouteIQ, iq
+		p.Why = iq.desc
+		return p
+	} else {
+		iqReason = reason
+	}
+	p.Why = fmt.Sprintf("lineage + d-tree (not safe: %s; not IQ: %s)", safeReason, iqReason)
+	return p
+}
+
+// Explain returns a one-line routing explanation.
+func (p *Plan) Explain() string {
+	return fmt.Sprintf("route=%s: %s", p.Route, p.Why)
+}
+
+// Lineage evaluates the plan's root through the pipelined runtime,
+// regardless of route — the answers with their lineage DNFs.
+func (p *Plan) Lineage() []pdb.Answer {
+	return Lineage(p.Root)
+}
+
+// Answers computes the confidence of every answer along the chosen
+// route. The structural routes are exact and ignore ev; the lineage
+// route materializes answer DNFs and fans them out over ev (nil ev
+// defaults to exact d-tree compilation). The returned answers are
+// sorted by value exactly like the legacy evaluator's.
+func (p *Plan) Answers(ctx context.Context, s *formula.Space, ev engine.Evaluator) ([]pdb.AnswerConf, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	switch p.Route {
+	case RouteSafe:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rows := p.safe.answers(s)
+		out := make([]pdb.AnswerConf, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, exactAnswer(r.vals, r.p))
+		}
+		return out, nil
+	case RouteIQ:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		levels := p.iq.weighted(s)
+		if !p.iq.hasAnswer(levels) {
+			return nil, nil
+		}
+		return []pdb.AnswerConf{exactAnswer(nil, p.iq.confidence(levels))}, nil
+	default:
+		if p.Root == nil {
+			return nil, nil
+		}
+		// Lineage materialization itself is not interruptible (budgets
+		// and cancellation live in the evaluator), so honour an
+		// already-expired context before starting the pipeline.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if ev == nil {
+			ev = engine.Exact{}
+		}
+		return pdb.Conf(ctx, s, p.Lineage(), ev)
+	}
+}
+
+func exactAnswer(vals []pdb.Value, prob float64) pdb.AnswerConf {
+	return pdb.AnswerConf{
+		Vals: vals,
+		P:    prob,
+		Res: engine.Result{
+			Lo: prob, Hi: prob, Estimate: prob,
+			Exact: true, Converged: true,
+		},
+	}
+}

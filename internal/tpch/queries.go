@@ -3,6 +3,7 @@ package tpch
 import (
 	"repro/internal/formula"
 	"repro/internal/pdb"
+	"repro/internal/plan"
 )
 
 // Column indices (fixed by Generate's schemas).
@@ -34,10 +35,26 @@ const (
 	psSupplycost
 )
 
+// Each query is declared once as a logical plan in ir.go; the methods
+// below evaluate that IR with the pipelined runtime (plan.Lineage) and
+// return the lineage DNFs the confidence algorithms consume. Routing a
+// query to its cheapest algorithm instead is plan.Compile's job — see
+// the Catalog.
+
+// booleanDNF evaluates a Boolean plan to its answer lineage (nil when
+// the answer is certainly false).
+func booleanDNF(n plan.Node) formula.DNF {
+	answers := plan.Lineage(n)
+	if len(answers) == 0 {
+		return nil
+	}
+	return answers[0].Lin
+}
+
 // ---------------------------------------------------------------------
 // Tractable (hierarchical) queries — Figure 6(a)/(b).
 // The paper's six queries are selections on lineitem and two-table
-// joins; the concrete predicates below are documented substitutions
+// joins; the concrete predicates are documented substitutions
 // (DESIGN.md) with TPC-H-typical selectivities.
 // ---------------------------------------------------------------------
 
@@ -46,60 +63,37 @@ const (
 // (l_returnflag, l_linestatus). Each answer's lineage is a set of
 // independent single-variable clauses.
 func (db *DB) Q1(cutoff pdb.Value) []pdb.Answer {
-	sel := pdb.Select(db.Lineitem, func(v []pdb.Value) bool { return v[lShipdate] <= cutoff })
-	return pdb.GroupProject(sel, []int{lReturnflag, lLinestatus})
+	return plan.Lineage(db.Q1IR(cutoff))
 }
 
 // B1 is the Boolean version of Q1: does any lineitem ship by cutoff?
 func (db *DB) B1(cutoff pdb.Value) formula.DNF {
-	sel := pdb.Select(db.Lineitem, func(v []pdb.Value) bool { return v[lShipdate] <= cutoff })
-	d, _ := pdb.BooleanAnswer(sel)
-	return d
+	return booleanDNF(db.B1IR(cutoff))
 }
 
 // B6 is the Boolean TPC-H Q6 selection: a shipdate window, a discount
 // band and a quantity cap on lineitem.
 func (db *DB) B6(dateLo, dateHi, discLo, discHi, qtyMax pdb.Value) formula.DNF {
-	sel := pdb.Select(db.Lineitem, func(v []pdb.Value) bool {
-		return v[lShipdate] >= dateLo && v[lShipdate] < dateHi &&
-			v[lDiscount] >= discLo && v[lDiscount] <= discHi &&
-			v[lQuantity] < qtyMax
-	})
-	d, _ := pdb.BooleanAnswer(sel)
-	return d
+	return booleanDNF(db.B6IR(dateLo, dateHi, discLo, discHi, qtyMax))
 }
 
 // Q15 joins supplier with a shipdate-windowed lineitem on suppkey and
 // groups by supplier (TPC-H Q15's revenue view without the aggregate).
 // Hierarchical: q(sk) :- supplier(sk), lineitem(sk, ...).
 func (db *DB) Q15(dateLo, dateHi pdb.Value) []pdb.Answer {
-	li := pdb.Select(db.Lineitem, func(v []pdb.Value) bool {
-		return v[lShipdate] >= dateLo && v[lShipdate] < dateHi
-	})
-	j := pdb.EquiJoin(db.Supplier, li, 0 /* s_suppkey */, lSuppkey)
-	return pdb.GroupProject(j, []int{0})
+	return plan.Lineage(db.Q15IR(dateLo, dateHi))
 }
 
 // B16 is the Boolean part–partsupp join of TPC-H Q16: suppliers offering
 // a part that is not of the given brand and at least the given size.
 func (db *DB) B16(notBrand, minSize pdb.Value) formula.DNF {
-	parts := pdb.Select(db.Part, func(v []pdb.Value) bool {
-		return v[pBrand] != notBrand && v[pSize] >= minSize
-	})
-	j := pdb.EquiJoin(parts, db.PartSupp, pPartkey, psPartkey)
-	d, _ := pdb.BooleanAnswer(j)
-	return d
+	return booleanDNF(db.B16IR(notBrand, minSize))
 }
 
 // B17 is the Boolean part–lineitem join of TPC-H Q17: is any lineitem
 // for a part of the given brand and container shipped?
 func (db *DB) B17(brand, container pdb.Value) formula.DNF {
-	parts := pdb.Select(db.Part, func(v []pdb.Value) bool {
-		return v[pBrand] == brand && v[pContainer] == container
-	})
-	j := pdb.EquiJoin(parts, db.Lineitem, pPartkey, lPartkey)
-	d, _ := pdb.BooleanAnswer(j)
-	return d
+	return booleanDNF(db.B17IR(brand, container))
 }
 
 // ---------------------------------------------------------------------
@@ -138,41 +132,19 @@ func (db *DB) iqLevels(nE, nD, nC int) (parts, lis, pss *pdb.Relation) {
 // p_size and l_quantity. The lineage has one clause per qualifying
 // (part, lineitem) pair.
 func (db *DB) IQB1(nE, nD int) formula.DNF {
-	parts, lis, _ := db.iqLevels(nE, nD, 0)
-	j := pdb.ThetaJoin(parts, lis, func(lv, rv []pdb.Value) bool {
-		return lv[pSize] < rv[lQuantity]
-	})
-	d, _ := pdb.BooleanAnswer(j)
-	return d
+	return booleanDNF(db.IQB1IR(nE, nD))
 }
 
 // IQB4 is the star pattern q() :- part(E), lineitem(D), partsupp(C),
 // E < D, E < C (max-one property over {p_size}).
 func (db *DB) IQB4(nE, nD, nC int) formula.DNF {
-	parts, lis, pss := db.iqLevels(nE, nD, nC)
-	j := pdb.ThetaJoin(parts, lis, func(lv, rv []pdb.Value) bool {
-		return lv[pSize] < rv[lQuantity]
-	})
-	j2 := pdb.ThetaJoin(j, pss, func(lv, rv []pdb.Value) bool {
-		return lv[pSize] < rv[psAvailqty]
-	})
-	d, _ := pdb.BooleanAnswer(j2)
-	return d
+	return booleanDNF(db.IQB4IR(nE, nD, nC))
 }
 
 // IQ6 is the chain pattern q() :- part(E), lineitem(D), partsupp(H),
 // E < D < H over p_size, l_quantity and ps_availqty.
 func (db *DB) IQ6(nE, nD, nC int) formula.DNF {
-	parts, lis, pss := db.iqLevels(nE, nD, nC)
-	j := pdb.ThetaJoin(parts, lis, func(lv, rv []pdb.Value) bool {
-		return lv[pSize] < rv[lQuantity]
-	})
-	qtyCol := len(parts.Cols) + lQuantity
-	j2 := pdb.ThetaJoin(j, pss, func(lv, rv []pdb.Value) bool {
-		return lv[qtyCol] < rv[psAvailqty]
-	})
-	d, _ := pdb.BooleanAnswer(j2)
-	return d
+	return booleanDNF(db.IQ6IR(nE, nD, nC))
 }
 
 // ---------------------------------------------------------------------
@@ -200,35 +172,13 @@ func (db *DB) CommonNationKey() pdb.Value {
 // B2 joins part, partsupp, supplier, nation and region: is some part of
 // the given size supplied from the given region? (TPC-H Q2 skeleton.)
 func (db *DB) B2(size, regionkey pdb.Value) formula.DNF {
-	parts := pdb.Select(db.Part, func(v []pdb.Value) bool { return v[pSize] == size })
-	nations := pdb.Select(db.Nation, func(v []pdb.Value) bool { return v[1] == regionkey })
-	regions := pdb.Select(db.Region, func(v []pdb.Value) bool { return v[0] == regionkey })
-
-	ps := pdb.EquiJoin(parts, db.PartSupp, pPartkey, psPartkey)
-	pss := pdb.EquiJoin(ps, db.Supplier, len(parts.Cols)+psSuppkey, 0)
-	sn := pdb.EquiJoin(pss, nations, len(parts.Cols)+len(db.PartSupp.Cols)+1 /* s_nationkey */, 0)
-	all := pdb.EquiJoin(sn, regions, len(sn.Cols)-1 /* n_regionkey */, 0)
-	d, _ := pdb.BooleanAnswer(all)
-	return d
+	return booleanDNF(db.B2IR(size, regionkey))
 }
 
 // B9 joins part, lineitem, partsupp, supplier, orders and nation: the
 // profit-query skeleton of TPC-H Q9 over parts of a type class.
 func (db *DB) B9(typeMax pdb.Value) formula.DNF {
-	parts := pdb.Select(db.Part, func(v []pdb.Value) bool { return v[pType] < typeMax })
-	j := pdb.EquiJoin(parts, db.Lineitem, pPartkey, lPartkey)
-	// partsupp on (partkey, suppkey): equi-join on partkey then filter.
-	liSupp := len(parts.Cols) + lSuppkey
-	j2 := pdb.EquiJoin(j, db.PartSupp, pPartkey, psPartkey)
-	j2 = pdb.Select(j2, func(v []pdb.Value) bool {
-		return v[liSupp] == v[len(parts.Cols)+len(db.Lineitem.Cols)+psSuppkey]
-	})
-	j3 := pdb.EquiJoin(j2, db.Supplier, liSupp, 0)
-	j4 := pdb.EquiJoin(j3, db.Orders, len(parts.Cols)+lOrderkey, 0)
-	sNation := len(j3.Cols) - 1 // s_nationkey is supplier's last column
-	j5 := pdb.EquiJoin(j4, db.Nation, sNation, 0)
-	d, _ := pdb.BooleanAnswer(j5)
-	return d
+	return booleanDNF(db.B9IR(typeMax))
 }
 
 // B20 joins supplier, nation, partsupp and part: does a supplier of the
@@ -236,27 +186,12 @@ func (db *DB) B9(typeMax pdb.Value) formula.DNF {
 // skeleton.) The equality selection on nation leaves one nation
 // variable in the whole lineage — the behaviour the paper highlights.
 func (db *DB) B20(nationkey, brand, minAvail pdb.Value) formula.DNF {
-	nations := pdb.Select(db.Nation, func(v []pdb.Value) bool { return v[0] == nationkey })
-	sn := pdb.EquiJoin(db.Supplier, nations, 1 /* s_nationkey */, 0)
-	ps := pdb.Select(db.PartSupp, func(v []pdb.Value) bool { return v[psAvailqty] > minAvail })
-	j := pdb.EquiJoin(sn, ps, 0 /* s_suppkey */, psSuppkey)
-	parts := pdb.Select(db.Part, func(v []pdb.Value) bool { return v[pBrand] == brand })
-	j2 := pdb.EquiJoin(j, parts, len(sn.Cols)+psPartkey, pPartkey)
-	d, _ := pdb.BooleanAnswer(j2)
-	return d
+	return booleanDNF(db.B20IR(nationkey, brand, minAvail))
 }
 
 // B21 joins supplier, lineitem, orders and nation: late deliveries
 // (l_receiptdate > l_commitdate) by suppliers of one nation (TPC-H Q21
 // skeleton).
 func (db *DB) B21(nationkey pdb.Value) formula.DNF {
-	nations := pdb.Select(db.Nation, func(v []pdb.Value) bool { return v[0] == nationkey })
-	sn := pdb.EquiJoin(db.Supplier, nations, 1, 0)
-	late := pdb.Select(db.Lineitem, func(v []pdb.Value) bool {
-		return v[lReceiptdate] > v[lCommitdate]
-	})
-	j := pdb.EquiJoin(sn, late, 0 /* s_suppkey */, lSuppkey)
-	j2 := pdb.EquiJoin(j, db.Orders, len(sn.Cols)+lOrderkey, 0)
-	d, _ := pdb.BooleanAnswer(j2)
-	return d
+	return booleanDNF(db.B21IR(nationkey))
 }

@@ -1,0 +1,99 @@
+package tpch
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// TestPlannerRoutingTPCH is the routing acceptance test: the planner
+// must send every hierarchical query to a safe plan, every IQ query to
+// a sorted scan, and every hard query to the lineage + d-tree path —
+// with no per-query hints beyond the declared IR.
+func TestPlannerRoutingTPCH(t *testing.T) {
+	db := Generate(Config{SF: 0.0008, ProbHigh: 1, Seed: 11})
+	wantRoute := map[Class]plan.Route{
+		ClassHierarchical: plan.RouteSafe,
+		ClassIQ:           plan.RouteIQ,
+		ClassHard:         plan.RouteLineage,
+	}
+	seen := map[plan.Route]int{}
+	for _, entry := range db.Catalog() {
+		p := plan.Compile(entry.Node)
+		if p.Route != wantRoute[entry.Class] {
+			t.Errorf("%s (%s): routed %v, want %v — %s",
+				entry.Name, entry.Class, p.Route, wantRoute[entry.Class], p.Why)
+		}
+		seen[p.Route]++
+		t.Logf("%-5s %-13s %s", entry.Name, entry.Class, p.Explain())
+	}
+	if seen[plan.RouteSafe] == 0 || seen[plan.RouteIQ] == 0 || seen[plan.RouteLineage] == 0 {
+		t.Fatalf("catalog did not cover all three routes: %v", seen)
+	}
+}
+
+// TestPlannerRoutedMatchesSproutBaselines cross-checks the routed
+// exact answers against the hand-written SPROUT baselines.
+func TestPlannerRoutedMatchesSproutBaselines(t *testing.T) {
+	db := Generate(Config{SF: 0.0008, ProbHigh: 1, Seed: 11})
+	ctx := context.Background()
+
+	checks := []struct {
+		name string
+		node plan.Node
+		want float64
+	}{
+		{"B1", db.B1IR(MaxDate / 2), db.SproutB1(MaxDate / 2)},
+		{"B16", db.B16IR(5, 20), db.SproutB16(5, 20)},
+		{"B17", db.B17IR(3, 7), db.SproutB17(3, 7)},
+		{"IQB1", db.IQB1IR(12, 30), db.SproutIQB1(12, 30)},
+		{"IQB4", db.IQB4IR(8, 12, 12), db.SproutIQB4(8, 12, 12)},
+		{"IQ6", db.IQ6IR(8, 12, 12), db.SproutIQ6(8, 12, 12)},
+	}
+	for _, c := range checks {
+		p := plan.Compile(c.node)
+		if p.Route == plan.RouteLineage {
+			t.Fatalf("%s unexpectedly routed to lineage: %s", c.name, p.Why)
+		}
+		answers, err := p.Answers(ctx, db.Space, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		got := 0.0
+		if len(answers) > 0 {
+			got = answers[0].P
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("%s: routed %v, SPROUT baseline %v", c.name, got, c.want)
+		}
+	}
+
+	// Grouped: Q15's routed per-supplier confidences vs the safe plan.
+	p := plan.Compile(db.Q15IR(0, MaxDate/3))
+	if p.Route != plan.RouteSafe {
+		t.Fatalf("Q15 routed %v: %s", p.Route, p.Why)
+	}
+	answers, err := p.Answers(ctx, db.Space, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := db.SproutQ15(0, MaxDate/3)
+	if len(answers) != len(baseline.Rows) {
+		t.Fatalf("Q15: %d routed answers, %d baseline rows", len(answers), len(baseline.Rows))
+	}
+	byKey := map[int64]float64{}
+	for _, r := range baseline.Rows {
+		byKey[int64(r.Vals[0])] = r.P
+	}
+	for _, a := range answers {
+		want, ok := byKey[int64(a.Vals[0])]
+		if !ok {
+			t.Fatalf("Q15: supplier %v missing from baseline", a.Vals[0])
+		}
+		if math.Abs(a.P-want) > 1e-12 {
+			t.Fatalf("Q15 supplier %v: routed %v, baseline %v", a.Vals[0], a.P, want)
+		}
+	}
+}
