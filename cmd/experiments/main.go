@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	experiments [-fig all|route,6a,6b,6c,7,8,8c,9] [-sf 0.002] [-seed 42]
+//	experiments [-fig all|route,topk,6a,6b,6c,7,8,8c,9] [-sf 0.002] [-seed 42]
 //	            [-md] [-dtree-nodes N] [-aconf-samples N] [-parallel N]
 //
 // The "route" figure prints the planner's EXPLAIN over the TPC-H
 // catalog: which queries compile to safe plans, IQ sorted scans, or
-// fall through to lineage + d-tree evaluation.
+// fall through to lineage + d-tree evaluation. The "topk" figure
+// prints the anytime ranking subsystem's pruning table: refinement
+// steps spent by the top-k / threshold schedulers versus evaluating
+// every answer to ε, over the multi-answer workloads.
 //
 // Defaults are scaled down to finish in minutes; raise -sf and the
 // budgets for larger runs. -md emits GitHub markdown (the body of
@@ -28,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figure ids: route,6a,6b,6c,7,8,8c,9,stats or all")
+	fig := flag.String("fig", "all", "comma-separated figure ids: route,topk,6a,6b,6c,7,8,8c,9,stats or all")
 	sf := flag.Float64("sf", 0, "TPC-H scale factor (default 0.002)")
 	seed := flag.Int64("seed", 0, "generator seed (default 42)")
 	md := flag.Bool("md", false, "emit markdown instead of plain text")
@@ -50,6 +53,7 @@ func main() {
 
 	run := map[string]func() *exp.Table{
 		"route": func() *exp.Table { return exp.RoutingTable(p) },
+		"topk":  func() *exp.Table { return exp.TopKFigure(p) },
 		"6a":    func() *exp.Table { return exp.Fig6a(p) },
 		"6b":    func() *exp.Table { return exp.Fig6b(p) },
 		"6c":    func() *exp.Table { return exp.Fig6c(p) },
@@ -59,7 +63,7 @@ func main() {
 		"9":     func() *exp.Table { return exp.Fig9(p, nil) },
 		"stats": func() *exp.Table { return exp.NodeStats(p) },
 	}
-	order := []string{"route", "6a", "6b", "6c", "7", "8", "8c", "9", "stats"}
+	order := []string{"route", "topk", "6a", "6b", "6c", "7", "8", "8c", "9", "stats"}
 
 	var want []string
 	if *fig == "all" {

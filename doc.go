@@ -26,9 +26,14 @@
 //	internal/mc       — Karp-Luby estimator, DKLR stopping rule (aconf)
 //	internal/pdb      — probabilistic relations, positive RA, and the
 //	                    parallel batch conf() operator
-//	internal/plan     — the query subsystem: logical plan IR, the
-//	                    safe/IQ/d-tree planner, and the pipelined
-//	                    streaming operator runtime
+//	internal/plan     — the query subsystem: logical plan IR (incl. the
+//	                    TopK/Threshold ranking roots), the safe/IQ/d-tree
+//	                    planner, and the pipelined streaming operator
+//	                    runtime
+//	internal/rank     — anytime multi-answer ranking: top-k and
+//	                    threshold schedulers over resumable d-tree
+//	                    refiners (bound separation instead of full
+//	                    evaluation)
 //	internal/sprout   — safe plans and IQ inequality scans
 //	internal/tpch     — probabilistic TPC-H generator and query suite
 //	internal/graphs   — random graphs and social networks
@@ -49,6 +54,7 @@ import (
 	"repro/internal/formula"
 	"repro/internal/mc"
 	"repro/internal/plan"
+	"repro/internal/rank"
 )
 
 // Core formula types.
@@ -117,6 +123,28 @@ type (
 	PlanRoute = plan.Route
 	// PlanOptions tunes routing (e.g. forcing the lineage path).
 	PlanOptions = plan.Options
+	// TopKNode is the plan root keeping only the K most probable
+	// answers (exact sort on structural routes, anytime scheduler on
+	// the lineage route).
+	TopKNode = plan.TopK
+	// ThresholdNode is the plan root keeping the answers with P ≥ Tau.
+	ThresholdNode = plan.Threshold
+)
+
+// Anytime ranking types: step-wise refinement of probability bounds and
+// the multi-answer top-k / threshold schedulers built on it.
+type (
+	// Refiner is the resumable d-tree ε-approximation: Step(budget)
+	// refines the frontier and returns monotonically tightening bounds.
+	Refiner = core.Refiner
+	// RankOptions configures the ranking schedulers (refinement floor,
+	// step quantum, budgets, shared cache, resolve mode).
+	RankOptions = rank.Options
+	// RankItem is one answer's ranking outcome (bounds, estimate,
+	// steps, membership proof).
+	RankItem = rank.Item
+	// RankResult is a ranking run's outcome (items, ranking, steps).
+	RankResult = rank.Result
 )
 
 // Planner routes.
@@ -170,4 +198,14 @@ var (
 	// NewInterner returns an empty hash-consing clause interner (the
 	// pipelined runtime's join-merge deduplication).
 	NewInterner = formula.NewInterner
+	// NewRefiner prepares a lineage DNF for step-wise bound refinement.
+	NewRefiner = core.NewRefiner
+	// RankTopK returns the k most probable answers by interleaved bound
+	// refinement, pruning answers whose bounds separate early.
+	RankTopK = rank.TopK
+	// RankThreshold returns the answers with P ≥ τ, same machinery.
+	RankThreshold = rank.Threshold
+	// RankRefineAll is the non-pruning baseline: every answer refined
+	// to its guarantee.
+	RankRefineAll = rank.RefineAll
 )

@@ -19,45 +19,18 @@ func ApproxGlobal(s *formula.Space, d formula.DNF, opt Options) (Result, error) 
 }
 
 // ApproxGlobalCtx is ApproxGlobal with cancellation semantics matching
-// ApproxCtx: the context is checked before every refinement step.
+// ApproxCtx: the context is checked before every refinement step. It is
+// a Refiner run to completion — the resumable step-wise API (see
+// refiner.go) is the primitive, this loop its simplest client.
 func ApproxGlobalCtx(ctx context.Context, s *formula.Space, d formula.DNF, opt Options) (Result, error) {
 	if opt.Eps == 0 {
 		return ExactCtx(ctx, s, d, opt)
 	}
-	st := newState(ctx, s, opt)
-	if err := st.ctx.Err(); err != nil {
-		st.cancelErr = err
-		return st.finish(0, 1), err
+	r := NewRefiner(ctx, s, d, opt)
+	for !r.Done() {
+		r.Step(1)
 	}
-	root := &gNode{frag: st.prepare(d)}
-	for {
-		lo, hi := root.bounds()
-		if st.cond(lo, hi) {
-			res := st.finish(lo, hi)
-			res.EarlyStop = !root.complete()
-			return res, nil
-		}
-		leaf := root.widestLeaf()
-		if leaf == nil {
-			// Tree complete but the condition still unmet: only possible
-			// for eps so tight that float rounding blocks it; the bounds
-			// are exact at this point.
-			res := st.finish(lo, hi)
-			return res, nil
-		}
-		if err := st.ctx.Err(); err != nil {
-			st.cancelErr = err
-			res := st.finish(lo, hi)
-			return res, err
-		}
-		if st.overBudget() {
-			st.budgetHit.Store(true)
-			res := st.finish(lo, hi)
-			res.Converged = false
-			return res, ErrBudget
-		}
-		st.refine(leaf)
-	}
+	return r.Result(), r.Err()
 }
 
 // gNode is a mutable node of the materialized partial d-tree.

@@ -95,7 +95,10 @@ func TestExactCtxCancelPrompt(t *testing.T) {
 	s, d := randdnf.Generate(randdnf.Config{
 		Vars: 120, Clauses: 900, MaxWidth: 6, MaxDomain: 2, MinProb: 0.3, MaxProb: 0.7,
 	}, 11)
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	// An already-expired deadline: deterministic on any machine (a short
+	// live timeout races the evaluation and loses on fast hardware), and
+	// the stride-based polling must still surface it promptly.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
 	defer cancel()
 	start := time.Now()
 	_, err := ExactCtx(ctx, s, d, Options{})

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/formula"
+)
+
+// Refiner is the resumable form of the incremental ε-approximation: the
+// materialized partial d-tree of ApproxGlobal turned into a step-wise
+// API. Where ApproxCtx runs its depth-first exploration to completion,
+// a Refiner persists the d-tree frontier between calls — each Step
+// refines the open leaf with the largest bounds interval (the paper's
+// refinement order) for up to budget leaf expansions and returns the
+// tightened global bounds. Callers interleave refinement across many
+// formulas, which is what the multi-answer ranking schedulers in
+// internal/rank do: answers are refined only as far as their bounds
+// must separate, not to a fixed ε.
+//
+// The reported interval is the intersection of every interval observed
+// so far. Each recomputed root interval contains P(Φ), so the
+// intersection does too, and the bounds are monotone: Lo never
+// decreases and Hi never increases across Steps.
+//
+// Options are interpreted exactly as for ApproxCtx: Eps is the target
+// guarantee (Eps 0 refines to an exact — point — interval), Cache
+// memoizes exact subformula probabilities and may be shared across
+// Refiners over the same Space, and leaf preparation fans out on the
+// shared worker pool unless Sequential is set. MaxNodes/MaxWork bound
+// this Refiner's cumulative work across all Steps; exhausting them
+// surfaces ErrBudget through Err.
+//
+// A Refiner is not safe for concurrent use; distinct Refiners are
+// independent and may run concurrently (sharing a cache is safe).
+type Refiner struct {
+	st    *state
+	root  *gNode
+	lo    float64
+	hi    float64
+	steps int
+	done  bool
+	err   error
+}
+
+// NewRefiner prepares d (normalization, subsumption removal, initial
+// heuristic bounds — the same leaf preparation every d-tree evaluation
+// starts with) and returns a Refiner positioned before the first
+// refinement step. A formula whose prepared bounds already meet the
+// Options guarantee is Done immediately with zero steps taken.
+func NewRefiner(ctx context.Context, s *formula.Space, d formula.DNF, opt Options) *Refiner {
+	st := newState(ctx, s, opt)
+	r := &Refiner{st: st, lo: 0, hi: 1}
+	if err := st.ctx.Err(); err != nil {
+		r.fail(err)
+		return r
+	}
+	r.root = &gNode{frag: st.prepare(d)}
+	r.absorb(r.root.frag.lo, r.root.frag.hi)
+	return r
+}
+
+// Step refines the widest open leaf, repeating up to budget times (a
+// budget below 1 is treated as 1), and returns the current global
+// bounds together with whether refinement is finished. Done becomes
+// true when the Options guarantee is met, the d-tree is complete (the
+// bounds are then a point), the node/work budget is exhausted, or the
+// context is cancelled; the latter two record an error retrievable via
+// Err. Step on a Done refiner returns the final bounds unchanged.
+func (r *Refiner) Step(budget int) (lo, hi float64, done bool) {
+	if budget < 1 {
+		budget = 1
+	}
+	for i := 0; i < budget && !r.done; i++ {
+		if err := r.st.ctx.Err(); err != nil {
+			r.fail(err)
+			break
+		}
+		if r.st.overBudget() {
+			r.fail(ErrBudget)
+			break
+		}
+		leaf := r.root.widestLeaf()
+		if leaf == nil {
+			// Tree complete: the bounds are exact. Reachable only when
+			// float rounding keeps an exact interval from satisfying a
+			// very tight Eps condition.
+			r.done = true
+			break
+		}
+		r.st.refine(leaf)
+		r.steps++
+		r.absorb(r.root.bounds())
+	}
+	return r.lo, r.hi, r.done
+}
+
+// Bounds returns the current interval: Lo ≤ P(Φ) ≤ Hi.
+func (r *Refiner) Bounds() (lo, hi float64) { return r.lo, r.hi }
+
+// Done reports that refinement is finished (guarantee met, tree
+// complete, budget exhausted, or context cancelled).
+func (r *Refiner) Done() bool { return r.done }
+
+// Err returns the error that stopped refinement, if any: ErrBudget on
+// node/work exhaustion, the context's error on cancellation, nil
+// otherwise (including after normal convergence).
+func (r *Refiner) Err() error { return r.err }
+
+// Steps returns the number of leaf refinements performed so far.
+func (r *Refiner) Steps() int { return r.steps }
+
+// Result summarizes the refinement so far in the same form as
+// Approx/Exact: current bounds, an estimate (guarantee-respecting when
+// Converged, the interval midpoint otherwise), and the node and cache
+// counters.
+func (r *Refiner) Result() Result {
+	res := r.st.finish(r.lo, r.hi)
+	res.EarlyStop = res.Converged && r.root != nil && !r.root.complete()
+	return res
+}
+
+// absorb intersects the freshly recomputed root interval with the best
+// interval so far and re-checks the stop condition. Both intervals
+// contain P(Φ), so the intersection is a valid, never-widening bound.
+func (r *Refiner) absorb(lo, hi float64) {
+	if lo > r.lo {
+		r.lo = lo
+	}
+	if hi < r.hi {
+		r.hi = hi
+	}
+	if r.hi < r.lo {
+		r.hi = r.lo // numeric guard, like finish
+	}
+	if r.st.cond(r.lo, r.hi) {
+		r.done = true
+	}
+}
+
+// fail records the terminal error and stops refinement. The state
+// flags keep Result's Converged reporting consistent with the
+// run-to-completion evaluators.
+func (r *Refiner) fail(err error) {
+	r.done = true
+	if r.err != nil {
+		return
+	}
+	r.err = err
+	if err == ErrBudget {
+		r.st.budgetHit.Store(true)
+	} else {
+		r.st.cancelErr = err
+	}
+}

@@ -56,12 +56,23 @@ type Budget struct {
 	// MaxSamples bounds Monte Carlo estimator invocations.
 	MaxSamples int
 	// Timeout, when positive, is applied to the evaluation's context as
-	// a deadline.
+	// a deadline via Context. The deadline only ever tightens the
+	// parent: a parent cancelled (or expired) before or during the
+	// evaluation still stops it with the parent's error — Timeout never
+	// grants a dead context another lease on life.
 	Timeout time.Duration
 }
 
-// context derives the evaluation context carrying the Timeout.
-func (b Budget) context(ctx context.Context) (context.Context, context.CancelFunc) {
+// Context derives the evaluation context carrying the Timeout. A nil
+// parent is treated as context.Background(). When the parent is already
+// cancelled the derived context is born cancelled with the parent's
+// error, so evaluators fail fast with ctx.Err() instead of running for
+// up to Timeout (see TestBudgetTimeoutCancelledParent). The returned
+// cancel function must be called to release the timer.
+func (b Budget) Context(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if b.Timeout > 0 {
 		return context.WithTimeout(ctx, b.Timeout)
 	}
@@ -138,7 +149,7 @@ type Exact struct {
 
 // Evaluate implements Evaluator.
 func (e Exact) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (Result, error) {
-	ctx, cancel := e.Budget.context(ctx)
+	ctx, cancel := e.Budget.Context(ctx)
 	defer cancel()
 	res, err := core.ExactCtx(ctx, s, d, core.Options{
 		Order:    e.Order,
@@ -171,7 +182,7 @@ type Approx struct {
 
 // Evaluate implements Evaluator.
 func (e Approx) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (Result, error) {
-	ctx, cancel := e.Budget.context(ctx)
+	ctx, cancel := e.Budget.Context(ctx)
 	defer cancel()
 	opt := core.Options{
 		Eps: e.Eps, Kind: e.Kind, Order: e.Order,
@@ -206,7 +217,7 @@ type MonteCarlo struct {
 
 // Evaluate implements Evaluator.
 func (e MonteCarlo) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (Result, error) {
-	ctx, cancel := e.Budget.context(ctx)
+	ctx, cancel := e.Budget.Context(ctx)
 	defer cancel()
 	seed := e.Seed
 	if seed == 0 {

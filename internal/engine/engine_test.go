@@ -119,6 +119,47 @@ func TestBudgetTimeout(t *testing.T) {
 	}
 }
 
+// TestBudgetTimeoutCancelledParent pins the Budget.Context contract: a
+// Timeout wrapped around an already-cancelled parent must not grant the
+// evaluation up to Timeout of extra life — the derived context is born
+// cancelled with the parent's error, and evaluators return it promptly.
+func TestBudgetTimeoutCancelledParent(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	ctx, cleanup := Budget{Timeout: time.Hour}.Context(parent)
+	defer cleanup()
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("derived ctx.Err() = %v, want context.Canceled", ctx.Err())
+	}
+
+	s, d := randInstance(1)
+	for _, ev := range []Evaluator{
+		Exact{Budget: Budget{Timeout: time.Hour}},
+		Approx{Eps: 0.01, Budget: Budget{Timeout: time.Hour}},
+		Approx{Eps: 0.01, Global: true, Budget: Budget{Timeout: time.Hour}},
+	} {
+		start := time.Now()
+		res, err := ev.Evaluate(parent, s, d)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%T: err = %v, want context.Canceled", ev, err)
+		}
+		if res.Converged {
+			t.Fatalf("%T: cancelled evaluation reports Converged", ev)
+		}
+		if el := time.Since(start); el > time.Second {
+			t.Fatalf("%T: cancelled parent held the evaluation for %v", ev, el)
+		}
+	}
+
+	// A nil parent is Background: the Timeout alone governs.
+	nctx, ncleanup := Budget{}.Context(nil)
+	defer ncleanup()
+	if nctx.Err() != nil {
+		t.Fatalf("nil-parent ctx.Err() = %v, want nil", nctx.Err())
+	}
+}
+
 func TestSproutPlanAdapter(t *testing.T) {
 	res, err := SproutPlan(func() float64 { return 0.375 }).Evaluate(context.Background(), nil, nil)
 	if err != nil {

@@ -143,3 +143,20 @@ func TestNodeStatsRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestRankTopKFigureRuns(t *testing.T) {
+	tab := TopKFigure(fast())
+	if len(tab.Rows) < 6 {
+		t.Fatalf("topk rows %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r) != len(tab.Header) {
+			t.Fatalf("row %v has %d cells, header %d", r, len(r), len(tab.Header))
+		}
+		for _, cell := range r {
+			if strings.HasPrefix(cell, "ERR") {
+				t.Fatalf("row %v reports an error", r)
+			}
+		}
+	}
+}

@@ -121,6 +121,36 @@ func (g *Graph) TriangleDNF() formula.DNF {
 	return d
 }
 
+// NodeTriangleDNF returns the lineage of "node v is in a triangle":
+// the TriangleDNF clauses restricted to triangles containing v. The
+// per-node DNFs of a graph share edge variables (each triangle feeds
+// three of them), making them a naturally overlapping multi-answer
+// ranking workload.
+func (g *Graph) NodeTriangleDNF(v int) formula.DNF {
+	var d formula.DNF
+	for i := 0; i < g.N; i++ {
+		if i == v {
+			continue
+		}
+		ei, ok := g.EdgeVar(v, i)
+		if !ok {
+			continue
+		}
+		for j := i + 1; j < g.N; j++ {
+			if j == v {
+				continue
+			}
+			ej, ok1 := g.EdgeVar(v, j)
+			eij, ok2 := g.EdgeVar(i, j)
+			if ok1 && ok2 {
+				d = append(d, formula.MustClause(
+					formula.Pos(ei), formula.Pos(ej), formula.Pos(eij)))
+			}
+		}
+	}
+	return d.Normalize()
+}
+
 // PathDNF returns the lineage of the Boolean "path of length L" query:
 // a clause per simple path of L edges (L+1 distinct nodes), counted once
 // per undirected path. L must be 2 or 3 (the experiments' p2 and p3).

@@ -275,3 +275,32 @@ func TestFromEdgesRejectsDuplicates(t *testing.T) {
 	}()
 	FromEdges(3, [][2]int{{0, 1}, {1, 0}}, []float64{0.5, 0.5})
 }
+
+func TestNodeTriangleDNF(t *testing.T) {
+	g := Karate(0.3, 0.95, 1)
+	whole := g.TriangleDNF().Normalize()
+	// Every whole-graph triangle clause appears in exactly the three
+	// per-node DNFs of its corners, so the per-node clause counts sum
+	// to three times the triangle count.
+	sum := 0
+	for v := 0; v < g.N; v++ {
+		d := g.NodeTriangleDNF(v)
+		sum += len(d)
+		for _, c := range d {
+			touches := false
+			for _, a := range c {
+				for u := 0; u < g.N; u++ {
+					if e, ok := g.EdgeVar(v, u); ok && e == a.Var {
+						touches = true
+					}
+				}
+			}
+			if !touches {
+				t.Fatalf("node %d clause %v has no incident edge", v, c)
+			}
+		}
+	}
+	if sum != 3*len(whole) {
+		t.Fatalf("per-node clauses sum %d, want 3x%d triangles", sum, len(whole))
+	}
+}

@@ -1,0 +1,58 @@
+package pdb
+
+import (
+	"context"
+
+	"repro/internal/engine"
+	"repro/internal/formula"
+	"repro/internal/rank"
+)
+
+// ConfTopK is the ranking form of the conf() operator: it returns the
+// k most probable answers, most probable first, refining answer bounds
+// only as far as the top-k membership proof requires (see
+// internal/rank). The full scheduler outcome — per-answer bounds,
+// steps, and membership proofs for every answer including the pruned
+// ones — is returned alongside. A context/timeout failure returns the
+// partial outcome with the error.
+func ConfTopK(ctx context.Context, s *formula.Space, answers []Answer, k int, opt rank.Options) ([]AnswerConf, rank.Result, error) {
+	res, err := rank.TopK(ctx, s, lineages(answers), k, opt)
+	return rankedConfs(answers, res), res, err
+}
+
+// ConfThreshold returns the answers whose confidence is at least tau,
+// most probable first, with the same anytime semantics as ConfTopK.
+func ConfThreshold(ctx context.Context, s *formula.Space, answers []Answer, tau float64, opt rank.Options) ([]AnswerConf, rank.Result, error) {
+	res, err := rank.Threshold(ctx, s, lineages(answers), tau, opt)
+	return rankedConfs(answers, res), res, err
+}
+
+func lineages(answers []Answer) []formula.DNF {
+	dnfs := make([]formula.DNF, len(answers))
+	for i, a := range answers {
+		dnfs[i] = a.Lin
+	}
+	return dnfs
+}
+
+// rankedConfs turns the scheduler's selection into AnswerConf values in
+// rank order. Res carries the bounds at the point refinement stopped.
+// Converged keeps its engine meaning — the estimate carries the Eps
+// guarantee — which for early-proven answers with wide bounds is false
+// (their P is the interval midpoint); the membership proof itself is
+// rank.Item.Decided, available through the returned rank.Result.
+func rankedConfs(answers []Answer, res rank.Result) []AnswerConf {
+	out := make([]AnswerConf, 0, len(res.Ranking))
+	for _, idx := range res.Ranking {
+		it := res.Items[idx]
+		out = append(out, AnswerConf{
+			Vals: answers[idx].Vals,
+			P:    it.P,
+			Res: engine.Result{
+				Lo: it.Lo, Hi: it.Hi, Estimate: it.P,
+				Exact: it.Lo == it.Hi, Converged: it.Converged,
+			},
+		})
+	}
+	return out
+}

@@ -109,6 +109,14 @@ func (a *analysis) walk(n Node) []origin {
 	case *GroupLineage:
 		a.mark("nested GroupLineage")
 		return make([]origin, len(t.Cols))
+	case *TopK:
+		// Ranking nodes are root-only; the planner strips them before
+		// analysis, so finding one here means a malformed plan.
+		a.mark("ranking node below the root")
+		return a.walk(t.Input)
+	case *Threshold:
+		a.mark("ranking node below the root")
+		return a.walk(t.Input)
 	}
 	a.mark("unknown node")
 	return nil

@@ -59,6 +59,8 @@ func newCursor(n Node, in *formula.Interner) cursor {
 		return &projectCursor{in: newCursor(t.Input, in), cols: t.Cols}
 	case *GroupLineage:
 		panic("plan: GroupLineage below the plan root")
+	case *TopK, *Threshold:
+		panic("plan: TopK/Threshold must be the plan root")
 	}
 	panic(fmt.Sprintf("plan: unknown node %T", n))
 }

@@ -100,12 +100,33 @@ type GroupLineage struct {
 	Cols  []int
 }
 
+// TopK ranks its input's answers by confidence and keeps the K most
+// probable (ties broken by answer order). It is root-only: the planner
+// strips it off the plan root and routes the input underneath —
+// structural routes short-circuit to an exact sort, the lineage route
+// runs the anytime bound-separation scheduler (internal/rank). A TopK
+// anywhere below the root is a programming error and the runtime
+// rejects it.
+type TopK struct {
+	Input Node
+	K     int
+}
+
+// Threshold keeps the answers whose confidence is at least Tau.
+// Root-only, exactly like TopK.
+type Threshold struct {
+	Input Node
+	Tau   float64
+}
+
 func (*Scan) isNode()         {}
 func (*Select) isNode()       {}
 func (*EquiJoin) isNode()     {}
 func (*ThetaJoin) isNode()    {}
 func (*Project) isNode()      {}
 func (*GroupLineage) isNode() {}
+func (*TopK) isNode()         {}
+func (*Threshold) isNode()    {}
 
 // Width returns the number of output columns of n.
 func Width(n Node) int {
@@ -122,6 +143,10 @@ func Width(n Node) int {
 		return len(t.Cols)
 	case *GroupLineage:
 		return len(t.Cols)
+	case *TopK:
+		return Width(t.Input)
+	case *Threshold:
+		return Width(t.Input)
 	}
 	panic(fmt.Sprintf("plan: unknown node %T", n))
 }
@@ -142,6 +167,10 @@ func Name(n Node) string {
 		return pdb.DerivedName("π", Name(t.Input))
 	case *GroupLineage:
 		return pdb.DerivedName("πᵍ", Name(t.Input))
+	case *TopK:
+		return pdb.DerivedName("topk", Name(t.Input))
+	case *Threshold:
+		return pdb.DerivedName("σP≥τ", Name(t.Input))
 	}
 	panic(fmt.Sprintf("plan: unknown node %T", n))
 }
@@ -172,6 +201,10 @@ func Schema(n Node) []string {
 			out[i] = in[c]
 		}
 		return out
+	case *TopK:
+		return Schema(t.Input)
+	case *Threshold:
+		return Schema(t.Input)
 	}
 	panic(fmt.Sprintf("plan: unknown node %T", n))
 }

@@ -3,10 +3,12 @@ package plan
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/formula"
 	"repro/internal/pdb"
+	"repro/internal/rank"
 )
 
 // Route identifies which execution path the planner chose.
@@ -45,9 +47,26 @@ type Options struct {
 	DisableIQ   bool
 }
 
+// rankSpec is a ranking root (TopK/Threshold) stripped off the plan:
+// what cut to apply to the routed query's answers.
+type rankSpec struct {
+	topk bool
+	k    int
+	tau  float64
+}
+
+func (r *rankSpec) describe() string {
+	if r.topk {
+		return fmt.Sprintf("top-%d", r.k)
+	}
+	return fmt.Sprintf("P≥%g", r.tau)
+}
+
 // Plan is a routed query: the logical root plus the planner's decision
 // and, for the structural routes, the compiled exact evaluator.
 type Plan struct {
+	// Root is the routed query — for ranked queries, the input under
+	// the stripped TopK/Threshold node.
 	Root Node
 	// Route is the chosen execution path.
 	Route Route
@@ -55,19 +74,44 @@ type Plan struct {
 	// rejected), for traces and EXPLAIN-style output.
 	Why string
 
-	safe *safePlan
-	iq   *iqPlan
+	rank *rankSpec
+	// nestedRank records (at compile time) that a ranking node survived
+	// below the root — the plan is unexecutable and Answers errors.
+	nestedRank bool
+	safe       *safePlan
+	iq         *iqPlan
 }
 
 // Compile analyzes root and chooses the cheapest applicable route:
 // safe plan, IQ sorted scan, then the lineage pipeline. A nil root
-// yields an empty lineage-routed plan.
+// yields an empty lineage-routed plan. A TopK/Threshold root is
+// stripped and recorded: Answers then returns only the ranked
+// selection — exactly sorted on the structural routes, decided by the
+// anytime bound-separation scheduler on the lineage route.
 func Compile(root Node) *Plan {
 	return CompileWith(root, Options{})
 }
 
 // CompileWith is Compile with planner options.
 func CompileWith(root Node, opt Options) *Plan {
+	var spec *rankSpec
+	switch t := root.(type) {
+	case *TopK:
+		spec, root = &rankSpec{topk: true, k: t.K}, t.Input
+	case *Threshold:
+		spec, root = &rankSpec{tau: t.Tau}, t.Input
+	}
+	p := compileRouted(root, opt)
+	p.rank = spec
+	p.nestedRank = root != nil && containsRank(root)
+	if spec != nil {
+		p.Why = spec.describe() + " over " + p.Why
+	}
+	return p
+}
+
+// compileRouted routes a rank-free query.
+func compileRouted(root Node, opt Options) *Plan {
 	p := &Plan{Root: root, Route: RouteLineage}
 	if root == nil {
 		p.Why = "empty query"
@@ -135,9 +179,23 @@ func (p *Plan) Lineage() []pdb.Answer {
 // route materializes answer DNFs and fans them out over ev (nil ev
 // defaults to exact d-tree compilation). The returned answers are
 // sorted by value exactly like the legacy evaluator's.
+//
+// For a ranked plan (a TopK/Threshold root was compiled), only the
+// selected answers are returned, most probable first. The structural
+// routes rank their exact probabilities directly; the lineage route
+// hands the answers to the anytime scheduler, configured from ev (an
+// engine.Approx's Eps/Kind/Order/Budget/Cache become the refinement
+// floor — see rankOptionsFrom).
 func (p *Plan) Answers(ctx context.Context, s *formula.Space, ev engine.Evaluator) ([]pdb.AnswerConf, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	// A malformed ranking plan fails identically on every route.
+	if p.rank != nil && p.rank.topk && p.rank.k <= 0 {
+		return nil, fmt.Errorf("plan: TopK.K must be positive, got %d", p.rank.k)
+	}
+	if p.nestedRank {
+		return nil, fmt.Errorf("plan: ranking nodes (TopK/Threshold) must be the plan root")
 	}
 	switch p.Route {
 	case RouteSafe:
@@ -149,7 +207,7 @@ func (p *Plan) Answers(ctx context.Context, s *formula.Space, ev engine.Evaluato
 		for _, r := range rows {
 			out = append(out, exactAnswer(r.vals, r.p))
 		}
-		return out, nil
+		return p.rankExact(out), nil
 	case RouteIQ:
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -158,7 +216,7 @@ func (p *Plan) Answers(ctx context.Context, s *formula.Space, ev engine.Evaluato
 		if !p.iq.hasAnswer(levels) {
 			return nil, nil
 		}
-		return []pdb.AnswerConf{exactAnswer(nil, p.iq.confidence(levels))}, nil
+		return p.rankExact([]pdb.AnswerConf{exactAnswer(nil, p.iq.confidence(levels))}), nil
 	default:
 		if p.Root == nil {
 			return nil, nil
@@ -169,11 +227,91 @@ func (p *Plan) Answers(ctx context.Context, s *formula.Space, ev engine.Evaluato
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if p.rank != nil {
+			answers := p.Lineage()
+			opt := rankOptionsFrom(ev)
+			if p.rank.topk {
+				confs, _, err := pdb.ConfTopK(ctx, s, answers, p.rank.k, opt)
+				return confs, err
+			}
+			confs, _, err := pdb.ConfThreshold(ctx, s, answers, p.rank.tau, opt)
+			return confs, err
+		}
 		if ev == nil {
 			ev = engine.Exact{}
 		}
 		return pdb.Conf(ctx, s, p.Lineage(), ev)
 	}
+}
+
+// rankExact applies a ranking root to exactly-computed answers: sort
+// by probability descending (stable, so the route's value order breaks
+// ties) and cut at k / τ — the structural routes' short-circuit, no
+// scheduling needed.
+func (p *Plan) rankExact(out []pdb.AnswerConf) []pdb.AnswerConf {
+	if p.rank == nil {
+		return out
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].P > out[b].P })
+	if p.rank.topk {
+		if len(out) > p.rank.k {
+			out = out[:p.rank.k]
+		}
+		return out
+	}
+	cut := len(out)
+	for i, a := range out {
+		if a.P < p.rank.tau {
+			cut = i
+			break
+		}
+	}
+	return out[:cut]
+}
+
+// containsRank reports whether a ranking node remains anywhere in the
+// tree — only the stripped plan root may rank, so any survivor makes
+// the plan unexecutable.
+func containsRank(n Node) bool {
+	switch t := n.(type) {
+	case *TopK, *Threshold:
+		return true
+	case *Select:
+		return containsRank(t.Input)
+	case *EquiJoin:
+		return containsRank(t.Left) || containsRank(t.Right)
+	case *ThetaJoin:
+		return containsRank(t.Left) || containsRank(t.Right)
+	case *Project:
+		return containsRank(t.Input)
+	case *GroupLineage:
+		return containsRank(t.Input)
+	}
+	return false
+}
+
+// rankOptionsFrom derives the lineage route's scheduler configuration
+// from the evaluator the caller would have used for plain answers: the
+// d-tree evaluators contribute their refinement floor, budget and
+// cache. MonteCarlo has no bound-refinement analogue — rankings need
+// certain intervals — but its Budget (notably the Timeout) still
+// bounds the scheduler. A nil or unknown evaluator means
+// refine-to-exactness with no budget.
+func rankOptionsFrom(ev engine.Evaluator) rank.Options {
+	switch e := ev.(type) {
+	case engine.Approx:
+		return rank.Options{
+			Eps: e.Eps, Kind: e.Kind, Order: e.Order,
+			Budget: e.Budget, Cache: e.Cache, Sequential: e.Sequential,
+		}
+	case engine.Exact:
+		return rank.Options{
+			Order: e.Order, Budget: e.Budget, Cache: e.Cache, Sequential: e.Sequential,
+		}
+	case engine.MonteCarlo:
+		return rank.Options{Budget: e.Budget}
+	}
+	return rank.Options{}
 }
 
 func exactAnswer(vals []pdb.Value, prob float64) pdb.AnswerConf {

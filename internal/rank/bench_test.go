@@ -1,0 +1,126 @@
+package rank
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/formula"
+)
+
+// benchAnswers builds Q1/B6-style lineage at scale: nAnswers answers
+// over one shared pool of base-tuple variables, each answer the union
+// of a handful of width-3 joins, with skewed per-answer sizes so the
+// confidence distribution has a clear head and a long tail — the
+// regime where top-k pruning pays.
+func benchAnswers(nAnswers int) (*formula.Space, []formula.DNF) {
+	s := formula.NewSpace()
+	vars := make([]formula.Var, 4*nAnswers)
+	for i := range vars {
+		vars[i] = s.AddBool(0.02 + 0.25*float64(i%11)/11)
+	}
+	dnfs := make([]formula.DNF, nAnswers)
+	for i := 0; i < nAnswers; i++ {
+		clauses := 12 + i%16 // 12..27 clauses, all past the exact shortcut
+		var d formula.DNF
+		for j := 0; j < clauses; j++ {
+			a := vars[(4*i+j)%len(vars)]
+			b := vars[(4*i+3*j+1)%len(vars)]
+			c := vars[(7*i+j+2)%len(vars)]
+			if cl, ok := formula.NewClause(formula.Pos(a), formula.Pos(b), formula.Pos(c)); ok {
+				d = append(d, cl)
+			}
+		}
+		dnfs[i] = d.Normalize()
+	}
+	return s, dnfs
+}
+
+const (
+	benchN   = 240
+	benchK   = 10
+	benchEps = 1e-6
+)
+
+// TestTopKPrunesVsFull is the acceptance property behind
+// BenchmarkTopKVsFull: ranking the top 10 of 240 answers must cost
+// measurably fewer refinement steps than evaluating every answer to ε.
+func TestTopKPrunesVsFull(t *testing.T) {
+	s, dnfs := benchAnswers(benchN)
+	opt := Options{Eps: benchEps}
+	full, err := RefineAll(context.Background(), s, dnfs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topk, err := TopK(context.Background(), s, dnfs, benchK, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("top-%d steps=%d, full-evaluation steps=%d (%.1fx)",
+		benchK, topk.Steps, full.Steps, float64(full.Steps)/float64(topk.Steps+1))
+	if full.Steps == 0 {
+		t.Fatal("bench workload needs no refinement at all; grow it")
+	}
+	if topk.Steps*2 > full.Steps {
+		t.Fatalf("top-k spent %d steps, want < half of full evaluation's %d", topk.Steps, full.Steps)
+	}
+	// And the selected set agrees with the fully-evaluated ranking (the
+	// order within the set may differ between bound midpoints and
+	// ε-refined estimates; the property tests pin order separately).
+	want := make(map[int]bool, benchK)
+	for _, i := range full.Ranking[:benchK] {
+		want[i] = true
+	}
+	for _, i := range topk.Ranking {
+		if !want[i] {
+			t.Fatalf("top-k set %v disagrees with full evaluation's %v", topk.Ranking, full.Ranking[:benchK])
+		}
+	}
+}
+
+// BenchmarkTopKVsFull/topk vs /full: anytime top-k against the
+// evaluate-everything baseline on the same 240-answer workload.
+// steps/op is the refinement-step count — the machine-independent
+// measure the pruning claim is about.
+func BenchmarkTopKVsFull(b *testing.B) {
+	s, dnfs := benchAnswers(benchN)
+	opt := Options{Eps: benchEps}
+	b.Run("topk", func(b *testing.B) {
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			res, err := TopK(context.Background(), s, dnfs, benchK, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += res.Steps
+		}
+		b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+	})
+	b.Run("full", func(b *testing.B) {
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			res, err := RefineAll(context.Background(), s, dnfs, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += res.Steps
+		}
+		b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+	})
+}
+
+// BenchmarkThresholdVsFull measures the τ-cut scheduler the same way.
+func BenchmarkThresholdVsFull(b *testing.B) {
+	s, dnfs := benchAnswers(benchN)
+	opt := Options{Eps: benchEps}
+	b.Run("threshold", func(b *testing.B) {
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			res, err := Threshold(context.Background(), s, dnfs, 0.5, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += res.Steps
+		}
+		b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+	})
+}

@@ -1,0 +1,473 @@
+// Package rank is the anytime multi-answer ranking subsystem: top-k
+// by confidence and threshold (P ≥ τ) queries answered by interleaved
+// bound refinement instead of full per-answer evaluation.
+//
+// The d-tree ε-approximation produces monotonically tightening
+// [lo, hi] probability bounds (core.Refiner). For "which k answers are
+// the most probable?" and "which answers have P ≥ τ?" the final
+// probabilities are rarely needed — only enough bound separation to
+// prove membership. The schedulers here implement the multisimulation
+// idea of MystiQ-style top-k processing: every answer gets a resumable
+// refiner, and refinement steps are repeatedly granted to the answer
+// whose interval currently straddles the k-th / τ cut line (widest
+// interval first), until every answer's membership is decided. Answers
+// whose bounds separate early are never refined further, which on
+// skewed confidence distributions prunes most of the work a full
+// evaluation would spend.
+//
+// All refiners share the caller's formula.ProbCache (overlapping
+// lineage across answers memoizes once) and the process-wide worker
+// pool (leaf preparation inside each refinement step fans out); the
+// scheduling itself is sequential and deterministic — ties everywhere
+// are broken by answer index, so a ranking is reproducible.
+package rank
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/formula"
+)
+
+// Options configures a ranking run. The zero value refines every
+// undecided answer toward exactness (Eps 0) with no budget — fine for
+// small batches; large workloads should set Eps (the refinement floor)
+// and a Budget.
+type Options struct {
+	// Eps is the per-answer refinement floor: an answer is never
+	// refined beyond the Eps guarantee of the underlying approximation
+	// (Eps 0 allows refinement all the way to exactness). An answer
+	// whose interval still straddles the cut when it reaches the floor
+	// is decided by its estimate and reported with Decided false.
+	Eps float64
+	// Kind selects absolute or relative error for the Eps floor.
+	Kind engine.ErrorKind
+	// Order selects the Shannon-expansion variable order.
+	Order engine.VarOrder
+	// StepBudget is the number of leaf refinements granted to the
+	// chosen answer per scheduling decision (default 4). Larger grants
+	// amortize scheduling; smaller grants separate bounds with less
+	// wasted work.
+	StepBudget int
+	// MaxSteps, when positive, bounds the total refinement steps across
+	// all answers — the anytime knob. When exhausted, undecided answers
+	// are cut by their current estimates (Decided false).
+	MaxSteps int
+	// Budget bounds each answer's refiner (MaxNodes/MaxWork per answer)
+	// and the whole run's wall clock (Timeout; a cancelled parent
+	// context stops the run immediately, see engine.Budget.Context).
+	Budget engine.Budget
+	// Cache, when non-nil, memoizes exact subformula probabilities
+	// across all answers of the run (and across runs over the same
+	// Space).
+	Cache *formula.ProbCache
+	// Sequential disables parallel leaf preparation inside refiners.
+	Sequential bool
+	// Resolve refines every selected answer down to the Eps floor after
+	// membership is decided, so reported confidences carry the full
+	// guarantee ("-resolve" mode). Off, selected answers keep whatever
+	// bounds membership required — cheaper, and the point of anytime
+	// ranking.
+	Resolve bool
+}
+
+func (o Options) stepBudget() int {
+	if o.StepBudget < 1 {
+		return 4
+	}
+	return o.StepBudget
+}
+
+func (o Options) coreOptions() core.Options {
+	return core.Options{
+		Eps: o.Eps, Kind: o.Kind, Order: o.Order,
+		MaxNodes: o.Budget.MaxNodes, MaxWork: o.Budget.MaxWork,
+		Cache: o.Cache, Sequential: o.Sequential,
+	}
+}
+
+// Item is one answer's ranking outcome.
+type Item struct {
+	// Index is the answer's position in the input slice.
+	Index int
+	// Lo and Hi bound the answer's probability at the point refinement
+	// stopped for it.
+	Lo, Hi float64
+	// P is the confidence estimate (guarantee-respecting when the
+	// refiner converged, the interval midpoint otherwise).
+	P float64
+	// Steps counts the leaf refinements spent on this answer.
+	Steps int
+	// Selected reports membership in the result (top-k set / above
+	// threshold).
+	Selected bool
+	// Decided reports that membership was proven by bound separation
+	// (or, for unselected answers, refuted). False marks a borderline
+	// answer cut by its estimate after refinement bottomed out at the
+	// Eps floor, a budget, or MaxSteps.
+	Decided bool
+	// Converged reports that P carries the Eps guarantee (the answer's
+	// refiner converged). It is independent of Decided: membership is
+	// often proven while the bounds are still wide, in which case P is
+	// only the interval midpoint — run with Resolve to converge every
+	// selected answer.
+	Converged bool
+}
+
+// Result is a ranking run's outcome.
+type Result struct {
+	// Items holds every answer's outcome, in input order.
+	Items []Item
+	// Ranking lists the selected answers' indices, most probable first
+	// (estimate descending, input index breaking ties).
+	Ranking []int
+	// Steps is the total number of leaf refinements granted — the
+	// scheduler's work measure, comparable against RefineAll's.
+	Steps int
+}
+
+// membership status of one answer during scheduling.
+type status uint8
+
+const (
+	undecided status = iota
+	decidedIn        // proven in the top-k set / above τ
+	decidedOut       // proven out
+)
+
+// sched carries one ranking run: a refiner per answer plus the
+// scheduling state.
+type sched struct {
+	ctx    context.Context
+	opt    Options
+	refs   []*core.Refiner
+	items  []Item
+	status []status
+	steps  int
+}
+
+func newSched(ctx context.Context, s *formula.Space, dnfs []formula.DNF, opt Options) *sched {
+	sc := &sched{
+		ctx:    ctx,
+		opt:    opt,
+		refs:   make([]*core.Refiner, len(dnfs)),
+		items:  make([]Item, len(dnfs)),
+		status: make([]status, len(dnfs)),
+	}
+	co := opt.coreOptions()
+	for i, d := range dnfs {
+		sc.refs[i] = core.NewRefiner(ctx, s, d, co)
+		lo, hi := sc.refs[i].Bounds()
+		sc.items[i] = Item{Index: i, Lo: lo, Hi: hi}
+	}
+	return sc
+}
+
+// beats reports that answer b certainly ranks above answer a under
+// every probability assignment consistent with the current bounds,
+// with ties broken deterministically by input index: when b.Lo == a.Hi
+// the only non-beating case is an exact tie, which the lower index
+// wins.
+func beats(b, a *Item) bool {
+	if b.Lo > a.Hi {
+		return true
+	}
+	return b.Lo == a.Hi && b.Index < a.Index
+}
+
+// pick returns the undecided answer with the widest interval that can
+// still be refined, or -1. Width ties go to the lower index.
+func (sc *sched) pick() int {
+	best, bestW := -1, -1.0
+	for i := range sc.items {
+		if sc.status[i] != undecided || sc.refs[i].Done() {
+			continue
+		}
+		if w := sc.items[i].Hi - sc.items[i].Lo; w > bestW {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// quantum returns the next grant size — StepBudget clamped to what
+// remains under MaxSteps — and whether any steps remain at all.
+func (sc *sched) quantum() (int, bool) {
+	q := sc.opt.stepBudget()
+	if sc.opt.MaxSteps > 0 {
+		rem := sc.opt.MaxSteps - sc.steps
+		if rem <= 0 {
+			return 0, false
+		}
+		if rem < q {
+			q = rem
+		}
+	}
+	return q, true
+}
+
+// grant hands the chosen answer a quantum of refinement and records
+// the tightened bounds. Only context errors are returned: a refiner
+// exhausting its per-answer budget simply stops refining (the answer
+// is later cut by estimate, like the Eps floor).
+func (sc *sched) grant(i, quantum int) error {
+	before := sc.refs[i].Steps()
+	lo, hi, _ := sc.refs[i].Step(quantum)
+	sc.steps += sc.refs[i].Steps() - before
+	sc.items[i].Lo, sc.items[i].Hi = lo, hi
+	if err := sc.refs[i].Err(); err != nil && !errors.Is(err, core.ErrBudget) {
+		return err
+	}
+	return nil
+}
+
+// estimates snapshots every answer's estimate, step count and
+// convergence from its refiner.
+func (sc *sched) estimates() {
+	for i := range sc.items {
+		res := sc.refs[i].Result()
+		sc.items[i].P = res.Estimate
+		sc.items[i].Converged = res.Converged
+		sc.items[i].Steps = sc.refs[i].Steps()
+	}
+}
+
+// sortByEstimate orders answer indices by estimate descending, index
+// ascending — the deterministic output order.
+func (sc *sched) sortByEstimate(idx []int) {
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := &sc.items[idx[a]], &sc.items[idx[b]]
+		if ia.P != ib.P {
+			return ia.P > ib.P
+		}
+		return ia.Index < ib.Index
+	})
+}
+
+// result finalizes the ranking: marks the selected items and snapshots
+// the run totals.
+func (sc *sched) result(ranking []int) Result {
+	for _, i := range ranking {
+		sc.items[i].Selected = true
+	}
+	return Result{Items: sc.items, Ranking: ranking, Steps: sc.steps}
+}
+
+// resolve refines every answer in sel to its Eps floor (Resolve
+// mode), still under MaxSteps.
+func (sc *sched) resolve(sel []int) error {
+	for _, i := range sel {
+		for !sc.refs[i].Done() {
+			q, ok := sc.quantum()
+			if !ok {
+				return nil
+			}
+			if err := sc.grant(i, q); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TopK ranks the answers by confidence and returns the k most probable
+// (all of them when k ≥ len(dnfs)), ties broken by input index. Bounds
+// are refined only as far as membership demands: an answer proven
+// in — fewer than k answers can possibly rank above it — or proven
+// out — at least k answers certainly rank above it — is never refined
+// again. The ordering within the selection therefore follows the
+// current estimates, which for early-proven answers are only interval
+// midpoints (Item.Converged false) — set Options.Resolve when the
+// reported confidences (and their order) must carry the Eps guarantee.
+// On a context/timeout error the partial result so far is returned
+// alongside the error.
+func TopK(ctx context.Context, s *formula.Space, dnfs []formula.DNF, k int, opt Options) (Result, error) {
+	if k <= 0 {
+		return Result{}, fmt.Errorf("rank: k must be positive, got %d", k)
+	}
+	return schedule(ctx, s, dnfs, opt,
+		func(sc *sched) { sc.decideTopK(k) },
+		func(sc *sched) []int { return sc.selectTopK(k) })
+}
+
+// Threshold returns the answers whose confidence is at least tau,
+// most probable first. An answer is proven in once its lower bound
+// reaches tau and proven out once its upper bound drops below it;
+// answers still straddling tau at the refinement floor are cut by
+// estimate (Decided false).
+func Threshold(ctx context.Context, s *formula.Space, dnfs []formula.DNF, tau float64, opt Options) (Result, error) {
+	return schedule(ctx, s, dnfs, opt,
+		func(sc *sched) { sc.decideThreshold(tau) },
+		func(sc *sched) []int { return sc.selectThreshold(tau) })
+}
+
+// schedule is the shared driver of both cut modes: run the scheduling
+// loop with the mode's membership rule, decide once more from the
+// final bounds, select, and optionally resolve the selection to the
+// Eps floor (re-sorting, since resolution moves estimates).
+func schedule(ctx context.Context, s *formula.Space, dnfs []formula.DNF, opt Options,
+	decide func(*sched), sel func(*sched) []int) (Result, error) {
+	ctx, cancel := opt.Budget.Context(ctx)
+	defer cancel()
+	sc := newSched(ctx, s, dnfs, opt)
+	err := sc.run(func() { decide(sc) })
+	decide(sc)
+	sc.estimates()
+	ranking := sel(sc)
+	if err == nil && opt.Resolve {
+		err = sc.resolve(ranking)
+		sc.estimates()
+		sc.sortByEstimate(ranking)
+	}
+	return sc.result(ranking), err
+}
+
+// RefineAll is the non-pruning baseline: every answer refined to its
+// Eps floor (or exactness), all answers selected, ranked by estimate.
+// Its Steps total is what the schedulers are measured against.
+func RefineAll(ctx context.Context, s *formula.Space, dnfs []formula.DNF, opt Options) (Result, error) {
+	ctx, cancel := opt.Budget.Context(ctx)
+	defer cancel()
+	sc := newSched(ctx, s, dnfs, opt)
+	var err error
+loop:
+	for i := range sc.refs {
+		for !sc.refs[i].Done() {
+			q, ok := sc.quantum()
+			if !ok {
+				break loop
+			}
+			if err = sc.grant(i, q); err != nil {
+				break loop
+			}
+		}
+	}
+	sc.estimates()
+	ranking := make([]int, 0, len(sc.items))
+	for i := range sc.items {
+		sc.items[i].Decided = sc.items[i].Converged
+		ranking = append(ranking, i)
+	}
+	sc.sortByEstimate(ranking)
+	return sc.result(ranking), err
+}
+
+// run is the shared scheduling loop: decide memberships from the
+// current bounds, grant a refinement quantum to the widest undecided
+// answer, repeat until nothing undecided can be refined (or MaxSteps /
+// the context cuts the run short).
+func (sc *sched) run(decide func()) error {
+	for {
+		if err := sc.ctx.Err(); err != nil {
+			return err
+		}
+		decide()
+		q, ok := sc.quantum()
+		if !ok {
+			return nil
+		}
+		i := sc.pick()
+		if i < 0 {
+			return nil
+		}
+		if err := sc.grant(i, q); err != nil {
+			return err
+		}
+	}
+}
+
+// decideTopK promotes undecided answers whose membership in the top-k
+// set is already provable from the current intervals: out when at
+// least k answers certainly rank above it, in when fewer than k
+// answers possibly do.
+func (sc *sched) decideTopK(k int) {
+	n := len(sc.items)
+	for a := 0; a < n; a++ {
+		if sc.status[a] != undecided {
+			continue
+		}
+		certain, possible := 0, 0
+		for b := 0; b < n; b++ {
+			if b == a {
+				continue
+			}
+			switch {
+			case beats(&sc.items[b], &sc.items[a]):
+				certain++
+				possible++
+			case !beats(&sc.items[a], &sc.items[b]):
+				possible++
+			}
+			if certain >= k {
+				break // already provably out; possible no longer matters
+			}
+		}
+		switch {
+		case certain >= k:
+			sc.status[a] = decidedOut
+		case possible < k:
+			sc.status[a] = decidedIn
+		}
+	}
+}
+
+// selectTopK builds the top-k selection: proven members first, then
+// borderline answers by estimate until k are chosen.
+func (sc *sched) selectTopK(k int) []int {
+	var in, cand []int
+	for i := range sc.items {
+		switch sc.status[i] {
+		case decidedIn:
+			sc.items[i].Decided = true
+			in = append(in, i)
+		case decidedOut:
+			sc.items[i].Decided = true
+		default:
+			cand = append(cand, i)
+		}
+	}
+	sc.sortByEstimate(cand)
+	for len(in) < k && len(cand) > 0 {
+		in = append(in, cand[0])
+		cand = cand[1:]
+	}
+	sc.sortByEstimate(in)
+	return in
+}
+
+func (sc *sched) decideThreshold(tau float64) {
+	for i := range sc.items {
+		if sc.status[i] != undecided {
+			continue
+		}
+		switch {
+		case sc.items[i].Lo >= tau:
+			sc.status[i] = decidedIn
+		case sc.items[i].Hi < tau:
+			sc.status[i] = decidedOut
+		}
+	}
+}
+
+func (sc *sched) selectThreshold(tau float64) []int {
+	var in []int
+	for i := range sc.items {
+		switch sc.status[i] {
+		case decidedIn:
+			sc.items[i].Decided = true
+			in = append(in, i)
+		case decidedOut:
+			sc.items[i].Decided = true
+		default:
+			if sc.items[i].P >= tau {
+				in = append(in, i)
+			}
+		}
+	}
+	sc.sortByEstimate(in)
+	return in
+}

@@ -1,0 +1,294 @@
+package rank
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/formula"
+)
+
+// boolAnswers builds one Boolean variable per probability and returns
+// the single-clause lineage DNFs — answers whose confidences are
+// exactly the given probabilities.
+func boolAnswers(s *formula.Space, probs []float64) []formula.DNF {
+	out := make([]formula.DNF, len(probs))
+	for i, p := range probs {
+		out[i] = formula.DNF{formula.MustClause(formula.Pos(s.AddBool(p)))}
+	}
+	return out
+}
+
+func TestTopKBasic(t *testing.T) {
+	s := formula.NewSpace()
+	dnfs := boolAnswers(s, []float64{0.2, 0.9, 0.5, 0.7, 0.1})
+	res, err := TopK(context.Background(), s, dnfs, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranking) != 2 || res.Ranking[0] != 1 || res.Ranking[1] != 3 {
+		t.Fatalf("ranking = %v, want [1 3]", res.Ranking)
+	}
+	for _, i := range res.Ranking {
+		if !res.Items[i].Selected || !res.Items[i].Decided {
+			t.Fatalf("item %d not selected+decided: %+v", i, res.Items[i])
+		}
+	}
+	if res.Items[0].Selected || res.Items[4].Selected {
+		t.Fatal("unselected answers marked selected")
+	}
+	// Single-clause lineage is exact at preparation: no steps at all.
+	if res.Steps != 0 {
+		t.Fatalf("spent %d steps on exact-at-prepare answers", res.Steps)
+	}
+}
+
+func TestTopKTiesByIndex(t *testing.T) {
+	s := formula.NewSpace()
+	dnfs := boolAnswers(s, []float64{0.5, 0.5, 0.5, 0.5})
+	res, err := TopK(context.Background(), s, dnfs, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranking) != 2 || res.Ranking[0] != 0 || res.Ranking[1] != 1 {
+		t.Fatalf("ranking = %v, want [0 1] (ties go to lower index)", res.Ranking)
+	}
+}
+
+func TestTopKKAtLeastN(t *testing.T) {
+	s := formula.NewSpace()
+	dnfs := boolAnswers(s, []float64{0.2, 0.9})
+	res, err := TopK(context.Background(), s, dnfs, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranking) != 2 || res.Ranking[0] != 1 || res.Ranking[1] != 0 {
+		t.Fatalf("ranking = %v, want [1 0]", res.Ranking)
+	}
+}
+
+func TestTopKRejectsBadK(t *testing.T) {
+	if _, err := TopK(context.Background(), formula.NewSpace(), nil, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestTopKEmpty(t *testing.T) {
+	res, err := TopK(context.Background(), formula.NewSpace(), nil, 3, Options{})
+	if err != nil || len(res.Ranking) != 0 || len(res.Items) != 0 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestThresholdBasic(t *testing.T) {
+	s := formula.NewSpace()
+	dnfs := boolAnswers(s, []float64{0.2, 0.9, 0.5, 0.7, 0.1})
+	res, err := Threshold(context.Background(), s, dnfs, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 2} // P desc: 0.9, 0.7, 0.5 (τ inclusive)
+	if len(res.Ranking) != len(want) {
+		t.Fatalf("ranking = %v, want %v", res.Ranking, want)
+	}
+	for i, idx := range want {
+		if res.Ranking[i] != idx {
+			t.Fatalf("ranking = %v, want %v", res.Ranking, want)
+		}
+	}
+}
+
+func TestThresholdAllOrNone(t *testing.T) {
+	s := formula.NewSpace()
+	dnfs := boolAnswers(s, []float64{0.2, 0.9})
+	if res, _ := Threshold(context.Background(), s, dnfs, 0, Options{}); len(res.Ranking) != 2 {
+		t.Fatalf("τ=0 selected %v, want all", res.Ranking)
+	}
+	if res, _ := Threshold(context.Background(), s, dnfs, 1.5, Options{}); len(res.Ranking) != 0 {
+		t.Fatalf("τ=1.5 selected %v, want none", res.Ranking)
+	}
+}
+
+// An empty-lineage answer (certainly false) must rank below everything
+// without breaking the scheduler.
+func TestRankEmptyLineage(t *testing.T) {
+	s := formula.NewSpace()
+	dnfs := boolAnswers(s, []float64{0.3, 0.6})
+	dnfs = append(dnfs, nil)
+	res, err := TopK(context.Background(), s, dnfs, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranking) != 2 || res.Ranking[0] != 1 || res.Ranking[1] != 0 {
+		t.Fatalf("ranking = %v, want [1 0]", res.Ranking)
+	}
+}
+
+func TestTopKCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := formula.NewSpace()
+	dnfs := boolAnswers(s, []float64{0.2, 0.9})
+	res, err := TopK(ctx, s, dnfs, 1, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Items) != 2 {
+		t.Fatalf("partial result lost items: %+v", res)
+	}
+}
+
+// hardAnswers builds overlapping multi-clause lineage whose confidences
+// need real refinement: shared variables across answers, and more
+// clauses per answer than the inclusion-exclusion exact shortcut
+// handles at preparation (6), so the schedulers must actually step.
+func hardAnswers(s *formula.Space, n int) []formula.DNF {
+	vars := make([]formula.Var, 3*n)
+	for i := range vars {
+		vars[i] = s.AddBool(0.04 + 0.9*float64(i%7)/7)
+	}
+	out := make([]formula.DNF, n)
+	for i := 0; i < n; i++ {
+		var d formula.DNF
+		for j := 0; j < 10; j++ {
+			a := vars[(3*i+j)%len(vars)]
+			b := vars[(3*i+2*j+1)%len(vars)]
+			c := vars[(5*i+j+2)%len(vars)]
+			if cl, ok := formula.NewClause(formula.Pos(a), formula.Pos(b), formula.Pos(c)); ok {
+				d = append(d, cl)
+			}
+		}
+		out[i] = d.Normalize()
+	}
+	return out
+}
+
+// hardAnswers instances must force real scheduling — guards the other
+// hardAnswers-based tests against becoming vacuously green.
+func TestHardAnswersNeedRefinement(t *testing.T) {
+	s := formula.NewSpace()
+	dnfs := hardAnswers(s, 12)
+	res, err := RefineAll(context.Background(), s, dnfs, Options{Eps: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Fatal("hardAnswers are exact at preparation; grow them past the inclusion-exclusion shortcut")
+	}
+}
+
+func TestResolveTightensSelected(t *testing.T) {
+	s := formula.NewSpace()
+	dnfs := hardAnswers(s, 12)
+	opt := Options{Eps: 1e-6} // Kind zero value: absolute error
+	plain, err := TopK(context.Background(), s, dnfs, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Resolve = true
+	resolved, err := TopK(context.Background(), s, dnfs, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Ranking) != 3 || len(resolved.Ranking) != 3 {
+		t.Fatalf("rankings %v / %v", plain.Ranking, resolved.Ranking)
+	}
+	for _, i := range resolved.Ranking {
+		it := resolved.Items[i]
+		if w := it.Hi - it.Lo; w > 2e-6+1e-12 {
+			t.Fatalf("resolved item %d width %v exceeds the 1e-6 floor", i, w)
+		}
+	}
+	if resolved.Steps < plain.Steps {
+		t.Fatalf("resolve spent fewer steps (%d) than plain (%d)", resolved.Steps, plain.Steps)
+	}
+}
+
+// Decided (membership proof) and Converged (estimate guarantee) are
+// independent: an answer proven into the top-k while its bounds are
+// still wide must not claim a guaranteed estimate — unless Resolve
+// refines it to the floor.
+func TestDecidedVsConverged(t *testing.T) {
+	s := formula.NewSpace()
+	dnfs := hardAnswers(s, 12)
+	res, err := TopK(context.Background(), s, dnfs, 3, Options{Eps: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := false
+	for _, i := range res.Ranking {
+		it := res.Items[i]
+		if it.Converged && it.Hi-it.Lo > 2e-9 {
+			t.Fatalf("item %d claims convergence with width %v", i, it.Hi-it.Lo)
+		}
+		if it.Decided && !it.Converged {
+			wide = true
+		}
+	}
+	if !wide {
+		t.Skip("no early-proven wide answer in this instance; tighten the workload to exercise the distinction")
+	}
+	resolved, err := TopK(context.Background(), s, dnfs, 3, Options{Eps: 1e-9, Resolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range resolved.Ranking {
+		if !resolved.Items[i].Converged {
+			t.Fatalf("resolve left item %d unconverged: %+v", i, resolved.Items[i])
+		}
+	}
+}
+
+func TestMaxStepsAnytime(t *testing.T) {
+	s := formula.NewSpace()
+	dnfs := hardAnswers(s, 12)
+	res, err := TopK(context.Background(), s, dnfs, 3, Options{MaxSteps: 2, StepBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 || res.Steps > 2 {
+		t.Fatalf("spent %d steps, want 1..2 (MaxSteps 2 on a workload needing refinement)", res.Steps)
+	}
+	if len(res.Ranking) != 3 {
+		t.Fatalf("anytime cut still must select k answers, got %v", res.Ranking)
+	}
+	// A large quantum must be clamped, not spent: MaxSteps is a bound
+	// on the total, wherever the steps land.
+	clamped, err := TopK(context.Background(), s, dnfs, 3, Options{MaxSteps: 2, StepBudget: 64, Resolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clamped.Steps > 2 {
+		t.Fatalf("StepBudget 64 spent %d steps past MaxSteps 2", clamped.Steps)
+	}
+}
+
+// Shared-cache ranking must not change the selection, only the work.
+func TestRankSharedCache(t *testing.T) {
+	build := func() (*formula.Space, []formula.DNF) {
+		s := formula.NewSpace()
+		return s, hardAnswers(s, 10)
+	}
+	s1, d1 := build()
+	base, err := TopK(context.Background(), s1, d1, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, d2 := build()
+	cached, err := TopK(context.Background(), s2, d2, 3, Options{Cache: formula.NewProbCache(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Ranking) != len(cached.Ranking) {
+		t.Fatalf("cache changed selection: %v vs %v", base.Ranking, cached.Ranking)
+	}
+	for i := range base.Ranking {
+		if base.Ranking[i] != cached.Ranking[i] {
+			t.Fatalf("cache changed selection: %v vs %v", base.Ranking, cached.Ranking)
+		}
+		if math.Abs(base.Items[base.Ranking[i]].P-cached.Items[cached.Ranking[i]].P) > 1e-9 {
+			t.Fatalf("cache changed estimates")
+		}
+	}
+}
