@@ -7,8 +7,10 @@
 //	            [-md] [-dtree-nodes N] [-aconf-samples N] [-parallel N]
 //
 // The "route" figure prints the planner's EXPLAIN over the TPC-H
-// catalog: which queries compile to safe plans, IQ sorted scans, or
-// fall through to lineage + d-tree evaluation. The "topk" figure
+// catalog — which queries compile to safe plans, IQ sorted scans, or
+// fall through to lineage + d-tree evaluation — compiled through the
+// DB/Session/Query façade, the same path a serving client takes. The
+// "topk" figure
 // prints the anytime ranking subsystem's pruning table: refinement
 // steps spent by the top-k / threshold schedulers versus evaluating
 // every answer to ε, over the multi-answer workloads.

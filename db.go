@@ -1,0 +1,145 @@
+package repro
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/formula"
+	"repro/internal/pdb"
+	"repro/internal/workpool"
+)
+
+// DB is the long-lived root of the query façade: it owns a probability
+// space, the relations registered over it, the pool of hash-consing
+// clause interners the lineage pipelines draw from, and the sizing of
+// the process-wide worker pool that parallel d-tree exploration and
+// batch conf() fan out on.
+//
+// A DB is safe for concurrent use. Short-lived state — the subformula
+// probability cache, the default budget and evaluator — lives one level
+// down, in Sessions:
+//
+//	db := repro.NewDB(space, relations...)
+//	sess := db.Session(repro.WithEps(1e-3))
+//	for a, err := range sess.Query("R").GroupLineage(0).TopK(10).Run(ctx) { ... }
+type DB struct {
+	space *formula.Space
+	mu    sync.RWMutex
+	rels  map[string]*pdb.Relation
+	names []string
+
+	inmu sync.Mutex
+	ins  []*formula.Interner
+}
+
+// maxPooledClauses bounds the clauses a returned interner may hold and
+// still be pooled for reuse; larger ones are dropped so one huge query
+// does not pin its working set for the DB's lifetime.
+const maxPooledClauses = 1 << 18
+
+// NewDB returns a database over the given probability space with the
+// given relations registered. It panics on a nil space or on the
+// registration errors Register documents — a malformed catalog is a
+// programming error, like an unknown column name.
+func NewDB(space *formula.Space, rels ...*pdb.Relation) *DB {
+	if space == nil {
+		panic("repro: NewDB requires a non-nil probability space")
+	}
+	db := &DB{space: space, rels: make(map[string]*pdb.Relation, len(rels))}
+	db.Register(rels...)
+	return db
+}
+
+// Register adds relations to the catalog. It panics on a nil relation,
+// an empty name, or a name already registered to a different relation
+// (re-registering the identical relation is a no-op).
+func (db *DB) Register(rels ...*pdb.Relation) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, r := range rels {
+		if r == nil {
+			panic("repro: Register: nil relation")
+		}
+		if r.Name == "" {
+			panic("repro: Register: relation with empty name")
+		}
+		if have, ok := db.rels[r.Name]; ok {
+			if have == r {
+				continue
+			}
+			panic(fmt.Sprintf("repro: Register: relation %q already registered", r.Name))
+		}
+		db.rels[r.Name] = r
+		db.names = append(db.names, r.Name)
+	}
+}
+
+// Space returns the probability space every registered relation's
+// lineage is defined over.
+func (db *DB) Space() *Space { return db.space }
+
+// Relation returns the registered relation with the given name.
+func (db *DB) Relation(name string) (*pdb.Relation, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.rels[name]
+	return r, ok
+}
+
+// Relations lists the registered relation names in registration order.
+func (db *DB) Relations() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]string(nil), db.names...)
+}
+
+// known reports whether a query may scan r: either r itself is
+// registered, or a relation with r's name is — derived views
+// (filtered/thinned copies keeping the base relation's name, the way
+// the TPC-H IQ workloads thin their inputs) count as known.
+func (db *DB) known(r *pdb.Relation) bool {
+	if r == nil {
+		return false
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.rels[r.Name]
+	return ok
+}
+
+// SetParallelism sizes the shared worker pool the DB's evaluations fan
+// out on (n < 1 means fully sequential). The pool is process-wide; the
+// DB is its owner in the façade lifecycle.
+func (db *DB) SetParallelism(n int) { workpool.Resize(n) }
+
+// Parallelism returns the worker pool's configured parallelism.
+func (db *DB) Parallelism() int { return workpool.Parallelism() }
+
+// interner hands out a clause interner for one query pipeline, reusing
+// a pooled one when available. Interners are not concurrency-safe, so
+// each pipeline borrows exclusively and returns it via release.
+func (db *DB) interner() *formula.Interner {
+	db.inmu.Lock()
+	defer db.inmu.Unlock()
+	if n := len(db.ins); n > 0 {
+		in := db.ins[n-1]
+		db.ins = db.ins[:n-1]
+		return in
+	}
+	return formula.NewInterner()
+}
+
+// release returns a borrowed interner to the pool. Interners that grew
+// past maxPooledClauses are dropped instead, bounding the memory the
+// pool can pin.
+func (db *DB) release(in *formula.Interner) {
+	if in == nil {
+		return
+	}
+	if _, stored := in.Stats(); stored > maxPooledClauses {
+		return
+	}
+	db.inmu.Lock()
+	defer db.inmu.Unlock()
+	db.ins = append(db.ins, in)
+}

@@ -39,10 +39,42 @@
 //	internal/graphs   — random graphs and social networks
 //	internal/exp      — the figure-regeneration harness
 //
-// New code should declare queries as plan IR and let the planner route
-// them (the Plan/CompilePlan re-exports below), and evaluate lineage
-// through the engine API (Evaluator/Budget); the direct core/mc
-// re-exports remain for paper-faithful, single-algorithm use.
+// # The DB / Session / Query façade
+//
+// The public API is organized around three nouns, the way SPROUT
+// exposes confidence computation inside MayBMS rather than as loose
+// algorithm entry points:
+//
+//   - DB — the long-lived root: the probability space, the registered
+//     relations, the pool of hash-consing clause interners, and the
+//     sizing of the shared worker pool. NewDB(space, relations...).
+//   - Session — per-client scope: a subformula probability cache, a
+//     default Budget, a default Evaluator. db.Session(WithEps(1e-3),
+//     WithBudget(...), WithSharedCache(...), ...).
+//   - Query — the fluent builder compiled to the plan IR with
+//     build-time validation: sess.Query("R").Select(...).Join(...).
+//     GroupLineage(...).TopK(10). Run(ctx) streams the answers as an
+//     iter.Seq2[Answer, error]; on a ranked lineage-route query each
+//     answer is yielded the moment its membership is proven, before
+//     refinement of the rest finishes.
+//
+//	db := repro.NewDB(space, relations...)
+//	sess := db.Session(repro.WithEps(1e-3))
+//	q := sess.Query("R").Join(sess.Query("S"), 1, 0).GroupLineage(3).TopK(10)
+//	for a, err := range q.Run(ctx) {
+//		if err != nil { ... }
+//		fmt.Println(a.Vals, a.P)
+//	}
+//
+// Build-time failures (unregistered relations, empty projections,
+// nested ranking operators, ...) surface as BuildErrors from Build or
+// the first Run, never as planner panics.
+//
+// New code should use the façade; pre-built IR (such as the TPC-H
+// catalog) runs through it via sess.Query(node). The flat re-exports
+// below remain for paper-faithful, single-algorithm use — entry points
+// the façade supersedes carry Deprecated pointers to their
+// equivalents, but keep working.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for measured reproductions of every figure.
@@ -170,8 +202,17 @@ var (
 	NewDNF = formula.NewDNF
 	// Approx computes an ε-approximation of P(d) with guarantees
 	// (depth-first incremental compilation with leaf closing).
+	//
+	// Deprecated: run queries through the façade — DB.Session with
+	// WithEps derives the same evaluator (ApproxEval) with the
+	// session's budget and cache. Approx remains for paper-faithful
+	// single-formula use.
 	Approx = core.Approx
 	// ApproxGlobal is the global largest-interval-first variant.
+	//
+	// Deprecated: use a Session with WithEvaluator(ApproxEval{Global:
+	// true, ...}), or ApproxEval directly; ApproxGlobal remains for
+	// paper-faithful ablations.
 	ApproxGlobal = core.ApproxGlobal
 	// Exact computes P(d) exactly via exhaustive d-tree compilation.
 	Exact = core.Exact
@@ -188,6 +229,11 @@ var (
 	SproutPlan = engine.SproutPlan
 	// CompilePlan analyzes a plan IR and routes it to the cheapest
 	// applicable algorithm (safe plan, IQ scan, lineage + d-tree).
+	//
+	// Deprecated: compile through the façade — Session.Query(node)
+	// accepts pre-built IR and Build returns the routed Prepared plan
+	// with build-time validation; CompilePlan remains for standalone
+	// planner use.
 	CompilePlan = plan.Compile
 	// PlanFromLegacy bridges the declarative pdb.Query structs into the
 	// plan IR, so existing query definitions route through the planner.
@@ -202,8 +248,16 @@ var (
 	NewRefiner = core.NewRefiner
 	// RankTopK returns the k most probable answers by interleaved bound
 	// refinement, pruning answers whose bounds separate early.
+	//
+	// Deprecated: use the façade — Query.TopK(k) on a Session streams
+	// the same scheduler's answers as they are proven (Run returns an
+	// iter.Seq2). RankTopK remains for ranking raw lineage DNFs
+	// outside a DB.
 	RankTopK = rank.TopK
 	// RankThreshold returns the answers with P ≥ τ, same machinery.
+	//
+	// Deprecated: use Query.Threshold(tau) on a Session, which streams
+	// proven members; RankThreshold remains for raw lineage DNFs.
 	RankThreshold = rank.Threshold
 	// RankRefineAll is the non-pruning baseline: every answer refined
 	// to its guarantee.

@@ -1,0 +1,94 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro"
+	"repro/internal/formula"
+	"repro/internal/pdb"
+)
+
+// The full façade lifecycle: a DB over a probability space and its
+// relations, a Session scoping cache and defaults, a fluent Query
+// compiled to the plan IR, and answers streamed from Run.
+func ExampleNewDB() {
+	s := formula.NewSpace()
+	orders := pdb.NewTupleIndependent(s, "orders",
+		[]string{"order", "customer"},
+		[][]pdb.Value{{100, 1}, {101, 1}, {102, 2}},
+		[]float64{0.9, 0.5, 0.8}, 1)
+	disputes := pdb.NewTupleIndependent(s, "disputes",
+		[]string{"order"},
+		[][]pdb.Value{{100}, {102}},
+		[]float64{0.4, 0.7}, 2)
+
+	db := repro.NewDB(s, orders, disputes)
+	sess := db.Session()
+
+	// Which customers have a disputed order, and how likely?
+	q := sess.Query("orders").
+		Join(sess.Query("disputes"), 0, 0).
+		GroupLineage(1)
+	for a, err := range q.Run(context.Background()) {
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("customer %d: P=%.3f\n", a.Vals[0], a.P)
+	}
+	// Output:
+	// customer 1: P=0.360
+	// customer 2: P=0.560
+}
+
+// Build-time validation: builder misuse surfaces as BuildErrors at
+// Build (or the first Run), never as a planner panic.
+func ExampleQuery_Build() {
+	s := formula.NewSpace()
+	r := pdb.NewTupleIndependent(s, "R", []string{"a"},
+		[][]pdb.Value{{1}}, []float64{0.5}, 1)
+	db := repro.NewDB(s, r)
+	sess := db.Session()
+
+	_, err := sess.Query("R").Project().Build()
+	fmt.Println(err)
+
+	_, err = sess.Query("unknown").GroupLineage(0).TopK(0).Build()
+	fmt.Println(err)
+	// Output:
+	// repro: Project: empty projection — GroupLineage() with no columns is the Boolean query
+	// repro: Query: relation "unknown" is not registered with the DB
+	// repro: TopK: K must be positive, got 0
+}
+
+// Anytime top-k: on the lineage route the stream yields each answer
+// the moment its membership is proven. Correlated tuples (a shared
+// variable) force the lineage route here; WithEps sets the refinement
+// floor.
+func ExampleQuery_TopK() {
+	s := formula.NewSpace()
+	x := s.AddBool(0.5)
+	rel := &pdb.Relation{Name: "nodes", Cols: []string{"id"}}
+	for i := 0; i < 6; i++ {
+		cl := formula.MustClause(formula.Pos(s.AddBool(0.1 + 0.12*float64(i))))
+		if i%2 == 0 {
+			cl, _ = cl.Merge(formula.MustClause(formula.Pos(x)))
+		}
+		rel.Tups = append(rel.Tups, pdb.Tuple{Vals: []pdb.Value{pdb.Value(i)}, Lin: cl})
+	}
+
+	db := repro.NewDB(s, rel)
+	sess := db.Session(repro.WithEps(1e-6))
+	top, err := sess.Query("nodes").GroupLineage(0).TopK(2).All(context.Background())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, a := range top {
+		fmt.Printf("node %d: P=%.3f\n", a.Vals[0], a.P)
+	}
+	// Output:
+	// node 5: P=0.700
+	// node 3: P=0.460
+}

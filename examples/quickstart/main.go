@@ -1,69 +1,111 @@
-// Quickstart: build a small DNF over Boolean random variables, compute
-// exact and approximate probabilities with d-trees, inspect the bound
-// heuristic, and compare against the Karp-Luby/DKLR baseline.
+// Quickstart: the DB → Session → Query → stream lifecycle of the
+// façade, then the paper's Example 5.2 evaluated through the direct,
+// paper-faithful entry points.
 //
-// The formula is Example 5.2 of the paper:
+// The façade part builds a tiny probabilistic order database, opens a
+// session, declares a fluent query, and streams its answers; the
+// direct part computes P(Φ) for
 //
 //	Φ = (x ∧ y) ∨ (x ∧ z) ∨ v
 //	P(x)=0.3  P(y)=0.2  P(z)=0.7  P(v)=0.8   ⇒  P(Φ) = 0.8456
+//
+// with d-trees, bounds, and the Karp-Luby/DKLR baseline.
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/formula"
 	"repro/internal/mc"
+	"repro/internal/pdb"
 )
 
 func main() {
+	// ------------------------------------------------------------------
+	// 1. DB: a probability space and the relations registered over it.
+	// ------------------------------------------------------------------
 	s := formula.NewSpace()
-	x := s.AddBool(0.3)
-	y := s.AddBool(0.2)
-	z := s.AddBool(0.7)
-	v := s.AddBool(0.8)
-	for i, name := range []string{"x", "y", "z", "v"} {
-		s.SetName(formula.Var(i), name)
+	orders := pdb.NewTupleIndependent(s, "orders",
+		[]string{"order", "customer"},
+		[][]pdb.Value{{100, 1}, {101, 1}, {102, 2}, {103, 2}},
+		[]float64{0.9, 0.5, 0.8, 0.6}, 1)
+	disputes := pdb.NewTupleIndependent(s, "disputes",
+		[]string{"order"},
+		[][]pdb.Value{{100}, {102}, {103}},
+		[]float64{0.4, 0.7, 0.2}, 2)
+	db := repro.NewDB(s, orders, disputes)
+
+	// ------------------------------------------------------------------
+	// 2. Session: per-client cache, default budget and evaluator.
+	// ------------------------------------------------------------------
+	sess := db.Session()
+
+	// ------------------------------------------------------------------
+	// 3. Query: fluent builder, compiled to the plan IR and routed.
+	// ------------------------------------------------------------------
+	q := sess.Query("orders").
+		Join(sess.Query("disputes"), 0, 0). // orders.order = disputes.order
+		GroupLineage(1)                     // per-customer lineage
+	explain, err := q.Explain()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("plan:", explain)
+
+	// ------------------------------------------------------------------
+	// 4. Stream: Run yields answers as an iter.Seq2.
+	// ------------------------------------------------------------------
+	fmt.Println("P(customer has a disputed order):")
+	for a, err := range q.Run(context.Background()) {
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  customer %d: P=%.4f  [%.4f, %.4f]\n", a.Vals[0], a.P, a.Res.Lo, a.Res.Hi)
 	}
 
+	// Ranked queries stream anytime on the lineage route: the first
+	// answer arrives as soon as its membership is proven.
+	top, err := sess.Query("orders").Join(sess.Query("disputes"), 0, 0).
+		GroupLineage(1).TopK(1).All(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("most disputed customer: %d (P=%.4f)\n\n", top[0].Vals[0], top[0].P)
+
+	// ------------------------------------------------------------------
+	// The paper-faithful direct surface (Example 5.2).
+	// ------------------------------------------------------------------
+	e := formula.NewSpace()
+	x := e.AddBool(0.3)
+	y := e.AddBool(0.2)
+	z := e.AddBool(0.7)
+	v := e.AddBool(0.8)
+	for i, name := range []string{"x", "y", "z", "v"} {
+		e.SetName(formula.Var(i), name)
+	}
 	phi := formula.NewDNF(
 		formula.MustClause(formula.Pos(x), formula.Pos(y)),
 		formula.MustClause(formula.Pos(x), formula.Pos(z)),
 		formula.MustClause(formula.Pos(v)),
 	)
-	fmt.Println("Φ =", phi.String(s))
+	fmt.Println("Φ =", phi.String(e))
 
-	// The Independent bucket heuristic (Figure 3) gives quick bounds.
-	lo, hi := core.LeafBounds(s, phi, true)
+	lo, hi := core.LeafBounds(e, phi, true)
 	fmt.Printf("bucket bounds:          [%.4f, %.4f]\n", lo, hi)
+	fmt.Printf("exact (d-tree):         %.4f\n", core.ExactProbability(e, phi))
 
-	// Exact probability by exhaustive d-tree compilation.
-	exact := core.ExactProbability(s, phi)
-	fmt.Printf("exact (d-tree):         %.4f\n", exact)
-
-	// Absolute and relative ε-approximations with guarantees.
-	abs, err := core.Approx(s, phi, core.Options{Eps: 0.004, Kind: core.Absolute})
+	abs, err := core.Approx(e, phi, core.Options{Eps: 0.004, Kind: core.Absolute})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("absolute ε=0.004:       %.4f  (bounds [%.4f, %.4f], %d nodes)\n",
 		abs.Estimate, abs.Lo, abs.Hi, abs.Nodes)
 
-	rel, err := core.Approx(s, phi, core.Options{Eps: 0.01, Kind: core.Relative})
-	if err != nil {
-		panic(err)
-	}
-	fmt.Printf("relative ε=0.01:        %.4f\n", rel.Estimate)
-
-	// The Monte Carlo baseline the paper compares against.
-	res := mc.AConf(s, phi, mc.AConfOptions{Eps: 0.01, Delta: 0.001},
+	res := mc.AConf(e, phi, mc.AConfOptions{Eps: 0.01, Delta: 0.001},
 		rand.New(rand.NewSource(1)))
 	fmt.Printf("aconf (Karp-Luby/DKLR): %.4f  (%d samples)\n", res.Estimate, res.Samples)
-
-	// The materialized complete d-tree, for inspection.
-	tree := core.Compile(s, phi, core.OrderAuto)
-	fmt.Println("\ncomplete d-tree:")
-	fmt.Print(tree.String(s))
-	fmt.Printf("tree probability: %.4f\n", tree.Probability(s))
 }

@@ -1,26 +1,30 @@
-// Topk: anytime multi-answer ranking with the d-tree refiner.
+// Topk: anytime multi-answer ranking, from the raw scheduler to the
+// streaming façade.
 //
 // The walkthrough ranks "which node of the karate network is most
 // likely to sit in a triangle?" three ways:
 //
-//  1. rank.TopK over the per-node lineage DNFs — the scheduler
-//     interleaves bound refinement across answers and stops as soon as
-//     the top-k membership is proven, reporting how many refinement
-//     steps it spent versus the evaluate-everything baseline;
+//  1. rank.TopK over the per-node lineage DNFs — the paper-faithful
+//     direct surface: the scheduler interleaves bound refinement
+//     across answers and stops as soon as the top-k membership is
+//     proven, reporting how many refinement steps it spent versus the
+//     evaluate-everything baseline;
 //  2. rank.Threshold — all nodes with P ≥ τ, same machinery;
-//  3. a plan.TopK IR root over a TPC-H query — the planner strips the
-//     ranking node, routes the query (safe plan here, so ranking
-//     short-circuits to an exact sort), and returns only the top
-//     answers.
+//  3. the DB/Session/Query façade over the same relation-shaped
+//     workload — Query(...).GroupLineage(...).TopK(k).Run(ctx) streams
+//     each answer the moment its membership is proven (arrival order
+//     printed), and a TopK over a safe-routed TPC-H query
+//     short-circuits to an exact sort.
 package main
 
 import (
 	"context"
 	"fmt"
 
+	"repro"
 	"repro/internal/formula"
 	"repro/internal/graphs"
-	"repro/internal/plan"
+	"repro/internal/pdb"
 	"repro/internal/rank"
 	"repro/internal/tpch"
 )
@@ -71,13 +75,44 @@ func main() {
 	fmt.Printf("nodes with P(triangle) ≥ 0.9: %d of %d (%d steps)\n\n",
 		len(th.Ranking), len(dnfs), th.Steps)
 
-	// The same idea at the query level: a TopK root over TPC-H Q15.
-	// The planner routes the inner query to a safe plan, so the ranking
+	// The same ranking through the façade, streamed: pack the triangle
+	// lineage into a relation (one tuple per clause, grouped by node)
+	// and watch answers arrive the moment their membership is proven —
+	// before refinement of the other nodes finishes.
+	rel := &pdb.Relation{Name: "triangles", Cols: []string{"node"}}
+	for i, d := range dnfs {
+		for _, cl := range d {
+			rel.Tups = append(rel.Tups, pdb.Tuple{Vals: []pdb.Value{pdb.Value(nodes[i])}, Lin: cl})
+		}
+	}
+	fdb := repro.NewDB(g.Space(), rel)
+	sess := fdb.Session(repro.WithEps(1e-3))
+	fmt.Println("façade stream, top-5 in proof order:")
+	arrival := 0
+	for a, err := range sess.Query("triangles").GroupLineage(0).TopK(5).Run(context.Background()) {
+		if err != nil {
+			panic(err)
+		}
+		arrival++
+		fmt.Printf("  arrived %d: node %2d  P≈%.4f  [%.4f, %.4f]\n",
+			arrival, a.Vals[0], a.P, a.Res.Lo, a.Res.Hi)
+	}
+	fmt.Println()
+
+	// At the query level over TPC-H: a TopK root on Q15. The planner
+	// routes the inner query to a safe plan, so the ranking
 	// short-circuits to an exact sort — no scheduler needed.
 	db := tpch.Generate(tpch.Config{SF: 0.002, ProbHigh: 1, Seed: 42})
-	p := plan.Compile(&plan.TopK{Input: db.Q15IR(0, tpch.MaxDate/3), K: 3})
-	fmt.Println("plan:", p.Explain())
-	answers, err := p.Answers(context.Background(), db.Space, nil)
+	tdb := repro.NewDB(db.Space,
+		db.Region, db.Nation, db.Supplier, db.Customer,
+		db.Part, db.PartSupp, db.Orders, db.Lineitem)
+	tsess := tdb.Session()
+	q, err := tsess.Query(db.Q15IR(0, tpch.MaxDate/3)).TopK(3).Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("plan:", q.Explain())
+	answers, err := q.All(context.Background())
 	if err != nil {
 		panic(err)
 	}

@@ -1,9 +1,10 @@
-// Probabilistic TPC-H through the query planner: generate a
-// tuple-independent TPC-H database, declare queries as logical plans,
-// and let the planner route each to its cheapest algorithm — exact
-// safe plans for hierarchical queries, sorted scans for inequality
-// (IQ) queries, and lineage + d-tree confidence computation for the
-// #P-hard ones (Section VII-A in miniature).
+// Probabilistic TPC-H through the DB/Session/Query façade: generate a
+// tuple-independent TPC-H database, register its relations with a
+// repro.DB, and run the catalog queries through sessions — the planner
+// routes each to its cheapest algorithm (exact safe plans for
+// hierarchical queries, sorted scans for inequality (IQ) queries, and
+// lineage + d-tree confidence computation for the #P-hard ones,
+// Section VII-A in miniature), and answers stream out of Run.
 package main
 
 import (
@@ -11,9 +12,9 @@ import (
 	"fmt"
 	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/plan"
 	"repro/internal/tpch"
 )
 
@@ -23,70 +24,93 @@ func main() {
 		db.Lineitem.Len(), db.Orders.Len(), db.Part.Len())
 	ctx := context.Background()
 
-	// The planner's EXPLAIN: one routed plan per catalog query.
+	// The façade root: one DB owning the space and the catalog's
+	// relations; sessions scope caches and evaluator defaults.
+	fdb := repro.NewDB(db.Space,
+		db.Region, db.Nation, db.Supplier, db.Customer,
+		db.Part, db.PartSupp, db.Orders, db.Lineitem)
+	sess := fdb.Session()
+
+	// The planner's EXPLAIN: pre-built catalog IR runs through the
+	// façade via sess.Query(node).
 	fmt.Println("planner routing:")
 	for _, entry := range db.Catalog() {
-		p := plan.Compile(entry.Node)
-		fmt.Printf("  %-5s %-13s %s\n", entry.Name, entry.Class, p.Explain())
+		explain, err := sess.Query(entry.Node).Explain()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-5s %-13s %s\n", entry.Name, entry.Class, explain)
 	}
 
 	// Tractable join: routed to a safe plan; d-tree(0) over the same
 	// query's lineage must agree exactly. (A Boolean query with no
 	// qualifying tuples returns no answers — certainly false.)
-	b17 := plan.Compile(db.B17IR(3, 7))
-	routed, err := b17.Answers(ctx, db.Space, nil)
+	b17, err := sess.Query(db.B17IR(3, 7)).Build()
 	if err != nil {
 		panic(err)
 	}
-	if lineage := b17.Lineage(); len(routed) == 0 {
+	routed, err := b17.All(ctx)
+	if err != nil {
+		panic(err)
+	}
+	if lineage := b17.Plan().Lineage(); len(routed) == 0 {
 		fmt.Printf("\nB17 (tractable join): no answer (certainly false)\n")
 	} else {
 		exact := core.ExactProbability(db.Space, lineage[0].Lin)
-		fmt.Printf("\nB17 (tractable join): %d clauses, route=%s\n", len(lineage[0].Lin), b17.Route)
+		fmt.Printf("\nB17 (tractable join): %d clauses, route=%s\n", len(lineage[0].Lin), b17.Plan().Route)
 		fmt.Printf("  safe plan:  %.8f\n  d-tree(0):  %.8f\n", routed[0].P, exact)
 	}
 
 	// Tractable inequality chain: routed to an IQ sorted scan.
-	iq6 := plan.Compile(db.IQ6IR(20, 40, 40))
-	iqAnswers, err := iq6.Answers(ctx, db.Space, nil)
+	iq6, err := sess.Query(db.IQ6IR(20, 40, 40)).Build()
 	if err != nil {
 		panic(err)
 	}
-	if iqLineage := iq6.Lineage(); len(iqAnswers) == 0 {
+	iqAnswers, err := iq6.All(ctx)
+	if err != nil {
+		panic(err)
+	}
+	if iqLineage := iq6.Plan().Lineage(); len(iqAnswers) == 0 {
 		fmt.Printf("\nIQ6 (chain inequality): no answer (certainly false)\n")
 	} else {
-		fmt.Printf("\nIQ6 (chain inequality): %d clauses, route=%s\n", len(iqLineage[0].Lin), iq6.Route)
+		fmt.Printf("\nIQ6 (chain inequality): %d clauses, route=%s\n", len(iqLineage[0].Lin), iq6.Plan().Route)
 		fmt.Printf("  IQ scan:    %.8f\n  d-tree(0):  %.8f\n",
 			iqAnswers[0].P, core.ExactProbability(db.Space, iqLineage[0].Lin))
 	}
 
-	// Hard query: the planner falls back to lineage + d-tree; pick the
-	// evaluator (here the ε-approximation with guarantees).
-	b21 := plan.Compile(db.B21IR(db.CommonNationKey()))
-	fmt.Printf("\nB21 (#P-hard join): route=%s\n", b21.Route)
+	// Hard query: the planner falls back to lineage + d-tree; the
+	// session's evaluator decides the algorithm (here the
+	// ε-approximation with guarantees).
+	hardSess := fdb.Session(repro.WithEvaluator(engine.Approx{Eps: 0.01, Kind: engine.Relative}))
+	b21 := hardSess.Query(db.B21IR(db.CommonNationKey()))
 	t0 := time.Now()
-	hard, err := b21.Answers(ctx, db.Space, engine.Approx{Eps: 0.01, Kind: engine.Relative})
+	hard, err := b21.All(ctx)
 	if err != nil {
 		panic(err)
 	}
 	if len(hard) == 0 {
-		fmt.Println("  no answer (certainly false)")
+		fmt.Println("\nB21 (#P-hard join): no answer (certainly false)")
 	} else {
+		fmt.Printf("\nB21 (#P-hard join): route=d-tree\n")
 		fmt.Printf("  d-tree rel ε=0.01: %.6f  (%v, %d nodes, bounds [%.6f, %.6f])\n",
 			hard[0].P, time.Since(t0), hard[0].Res.Nodes, hard[0].Res.Lo, hard[0].Res.Hi)
 	}
 
-	// Per-answer confidences of a grouped query (Q15): the safe route
-	// returns every supplier's exact confidence without lineage.
-	q15 := plan.Compile(db.Q15IR(0, tpch.MaxDate/3))
-	answers, err := q15.Answers(ctx, db.Space, nil)
+	// Per-answer confidences of a grouped query (Q15), streamed: the
+	// safe route returns every supplier's exact confidence without
+	// materializing lineage.
+	q15 := sess.Query(db.Q15IR(0, tpch.MaxDate/3))
+	explain, err := q15.Explain()
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\nQ15 via %s route: %d supplier answers; first 5 confidences:\n",
-		q15.Route, len(answers))
-	for i, a := range answers {
-		if i == 5 {
+	fmt.Printf("\nQ15 (%s); first 5 supplier confidences:\n", explain)
+	n := 0
+	for a, err := range sess.Query(db.Q15IR(0, tpch.MaxDate/3)).Run(ctx) {
+		if err != nil {
+			panic(err)
+		}
+		if n++; n > 5 {
 			break
 		}
 		fmt.Printf("  supplier %-4d conf %.6f\n", a.Vals[0], a.P)

@@ -1,0 +1,408 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/engine"
+	"repro/internal/formula"
+	"repro/internal/pdb"
+	"repro/internal/plan"
+)
+
+// facadeWorkload hand-builds a one-relation workload whose GroupLineage
+// answers reproduce internal/rank's bench lineage: nAnswers answers
+// over one shared pool of Boolean variables, each answer the union of a
+// skewed number of width-3 clauses — the regime where anytime top-k
+// pruning (and therefore streaming) pays.
+func facadeWorkload(nAnswers int) (*formula.Space, *pdb.Relation) {
+	s := formula.NewSpace()
+	vars := make([]formula.Var, 4*nAnswers)
+	for i := range vars {
+		vars[i] = s.AddBool(0.02 + 0.25*float64(i%11)/11)
+	}
+	rel := &pdb.Relation{Name: "answers", Cols: []string{"id"}}
+	for i := 0; i < nAnswers; i++ {
+		clauses := 12 + i%16
+		for j := 0; j < clauses; j++ {
+			a := vars[(4*i+j)%len(vars)]
+			b := vars[(4*i+3*j+1)%len(vars)]
+			c := vars[(7*i+j+2)%len(vars)]
+			if cl, ok := formula.NewClause(formula.Pos(a), formula.Pos(b), formula.Pos(c)); ok {
+				rel.Tups = append(rel.Tups, pdb.Tuple{Vals: []pdb.Value{pdb.Value(i)}, Lin: cl})
+			}
+		}
+	}
+	return s, rel
+}
+
+// smallDB is a two-relation TI database with known exact answer
+// confidences, for lifecycle and concurrency tests.
+func smallDB(t testing.TB) *repro.DB {
+	t.Helper()
+	s := formula.NewSpace()
+	r := pdb.NewTupleIndependent(s, "R", []string{"a", "b"},
+		[][]pdb.Value{{1, 10}, {2, 10}, {2, 20}, {3, 30}},
+		[]float64{0.9, 0.5, 0.4, 0.8}, 1)
+	u := pdb.NewTupleIndependent(s, "S", []string{"b", "c"},
+		[][]pdb.Value{{10, 7}, {20, 7}, {30, 9}},
+		[]float64{0.6, 0.3, 0.7}, 2)
+	return repro.NewDB(s, r, u)
+}
+
+// TestFacadeLifecycle drives DB → Session → Query → stream end to end
+// and cross-checks the façade's answers against the direct internal
+// path (plan.Compile + Plan.Answers) on the same IR.
+func TestFacadeLifecycle(t *testing.T) {
+	db := smallDB(t)
+	sess := db.Session()
+	ctx := context.Background()
+
+	q := sess.Query("R").Join(sess.Query("S"), 1, 0).GroupLineage(3)
+	if sch := q.Schema(); len(sch) != 1 {
+		t.Fatalf("Schema() = %v, want one grouped column", sch)
+	}
+	got, err := q.All(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rel, _ := db.Relation("R")
+	other, _ := db.Relation("S")
+	root := &plan.GroupLineage{
+		Input: &plan.EquiJoin{Left: &plan.Scan{Rel: rel}, Right: &plan.Scan{Rel: other}, LeftCol: 1, RightCol: 0},
+		Cols:  []int{3},
+	}
+	want, err := plan.Compile(root).Answers(ctx, db.Space(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("façade returned %d answers, direct path %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Vals[0] != want[i].Vals[0] || math.Abs(got[i].P-want[i].P) > 1e-12 {
+			t.Fatalf("answer %d: façade %v/%v, direct %v/%v",
+				i, got[i].Vals, got[i].P, want[i].Vals, want[i].P)
+		}
+	}
+
+	// The same query prepared once and explained.
+	pr, err := sess.Query("R").Join(sess.Query("S"), 1, 0).GroupLineage(3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Explain() == "" || pr.Plan() == nil {
+		t.Fatal("Prepared lost its plan")
+	}
+}
+
+// TestFacadeBuildValidation exercises the builder's uniform error
+// surface: every misuse is reported at Build as a *BuildError naming
+// the offending call, and never panics or leaks into the planner.
+func TestFacadeBuildValidation(t *testing.T) {
+	db := smallDB(t)
+	sess := db.Session()
+	other := repro.NewDB(db.Space()).Session()
+	unregistered := &pdb.Relation{Name: "ghost", Cols: []string{"x"}}
+
+	cases := []struct {
+		name string
+		q    *repro.Query
+		op   string
+	}{
+		{"unknown relation name", sess.Query("nope"), "Query"},
+		{"unregistered relation", sess.Query(unregistered), "Query"},
+		{"nil source", sess.Query(nil), "Query"},
+		{"unsupported source", sess.Query(42), "Query"},
+		{"nested rank in adopted IR", sess.Query(plan.Node(&plan.GroupLineage{
+			Input: &plan.TopK{Input: mustScan(t, db, "R"), K: 2},
+		})), "Query"},
+		{"nested group in adopted IR", sess.Query(plan.Node(&plan.EquiJoin{
+			Left:  &plan.GroupLineage{Input: mustScan(t, db, "R"), Cols: []int{0}},
+			Right: mustScan(t, db, "S"),
+		})), "Query"},
+		{"adopted IR with unregistered scan", sess.Query(plan.Node(&plan.Scan{Rel: unregistered})), "Query"},
+		{"nil select predicate", sess.Query("R").Select(nil), "Select"},
+		{"empty projection", sess.Query("R").Project(), "Project"},
+		{"projection out of range", sess.Query("R").Project(5), "Project"},
+		{"group column out of range", sess.Query("R").GroupLineage(9), "GroupLineage"},
+		{"join nil operand", sess.Query("R").Join(nil, 0, 0), "Join"},
+		{"join across sessions", sess.Query("R").Join(other.Query(unregistered), 0, 0), "Join"},
+		{"join column out of range", sess.Query("R").Join(sess.Query("S"), 7, 0), "Join"},
+		{"join a grouped query", sess.Query("R").Join(sess.Query("S").GroupLineage(0), 0, 0), "Join"},
+		{"nonpositive k", sess.Query("R").GroupLineage(0).TopK(0), "TopK"},
+		{"duplicate ranking", sess.Query("R").GroupLineage(0).TopK(2).Threshold(0.5), "Threshold"},
+		{"tau out of range", sess.Query("R").GroupLineage(0).Threshold(1.5), "Threshold"},
+		{"operator after ranking", sess.Query("R").TopK(2).Project(0), "Project"},
+		{"operator after grouping", sess.Query("R").GroupLineage(0).Select(func([]pdb.Value) bool { return true }), "Select"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.q.Build()
+			if err == nil {
+				t.Fatal("Build succeeded, want BuildError")
+			}
+			var be *repro.BuildError
+			if !errors.As(err, &be) {
+				t.Fatalf("error %v is not a *BuildError", err)
+			}
+			if be.Op != c.op {
+				t.Fatalf("BuildError.Op = %q (%v), want %q", be.Op, err, c.op)
+			}
+			// Run must surface the same failure through the stream.
+			if _, runErr := repro.Collect(c.q.Run(context.Background())); runErr == nil {
+				t.Fatal("Run yielded no error for an invalid query")
+			}
+		})
+	}
+}
+
+// TestFacadeAdoptsCanonicalRankedIR pins that the shapes plan.Compile
+// accepts are adoptable: a TopK/Threshold root directly over a
+// GroupLineage (the way the catalog and the pre-façade examples built
+// ranked queries) must build and run.
+func TestFacadeAdoptsCanonicalRankedIR(t *testing.T) {
+	db := smallDB(t)
+	sess := db.Session()
+	inner := &plan.GroupLineage{
+		Input: &plan.EquiJoin{
+			Left: mustScan(t, db, "R"), Right: mustScan(t, db, "S"),
+			LeftCol: 1, RightCol: 0,
+		},
+		Cols: []int{3},
+	}
+	for _, root := range []plan.Node{
+		&plan.TopK{Input: inner, K: 1},
+		&plan.Threshold{Input: inner, Tau: 0.1},
+	} {
+		got, err := sess.Query(root).All(context.Background())
+		if err != nil {
+			t.Fatalf("canonical ranked IR %T rejected: %v", root, err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("canonical ranked IR %T returned no answers", root)
+		}
+	}
+}
+
+func mustScan(t *testing.T, db *repro.DB, name string) plan.Node {
+	t.Helper()
+	rel, ok := db.Relation(name)
+	if !ok {
+		t.Fatalf("relation %q not registered", name)
+	}
+	return &plan.Scan{Rel: rel}
+}
+
+// TestFacadeStreamingSavesWork proves Run's iterator is genuinely
+// anytime: consuming only the first proven answer of a top-k query and
+// breaking out of the loop must cost measurably less evaluation work
+// (subformula cache misses) than draining the stream — impossible if
+// answers were materialized before the first yield.
+func TestFacadeStreamingSavesWork(t *testing.T) {
+	s, rel := facadeWorkload(120)
+	db := repro.NewDB(s, rel)
+
+	run := func(breakEarly bool) (answers int, misses int64) {
+		sess := db.Session(repro.WithEps(1e-6), repro.WithForceLineage())
+		for a, err := range sess.Query("answers").GroupLineage(0).TopK(10).Run(context.Background()) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = a
+			answers++
+			if breakEarly {
+				break
+			}
+		}
+		_, misses = sess.Cache().Stats()
+		return answers, misses
+	}
+
+	full, fullMisses := run(false)
+	early, earlyMisses := run(true)
+	if full != 10 {
+		t.Fatalf("full stream yielded %d answers, want 10", full)
+	}
+	if early != 1 {
+		t.Fatalf("early-break stream yielded %d answers, want 1", early)
+	}
+	if earlyMisses >= fullMisses {
+		t.Fatalf("breaking after the first answer cost %d cache misses, full stream %d — the stream is not anytime",
+			earlyMisses, fullMisses)
+	}
+	t.Logf("first answer after %d cache misses; full top-10 run %d", earlyMisses, fullMisses)
+}
+
+// TestFacadeStreamMatchesAll pins the stream's contents against the
+// materialized path: same selected answers, same estimates, only the
+// delivery order may differ (proof order vs rank order).
+func TestFacadeStreamMatchesAll(t *testing.T) {
+	s, rel := facadeWorkload(60)
+	db := repro.NewDB(s, rel)
+	sess := db.Session(repro.WithEps(1e-6), repro.WithForceLineage())
+	ctx := context.Background()
+
+	streamed, err := repro.Collect(sess.Query("answers").GroupLineage(0).TopK(7).Run(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := sess.Query("answers").GroupLineage(0).TopK(7).All(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != 7 || len(batch) != 7 {
+		t.Fatalf("streamed %d, batch %d answers, want 7", len(streamed), len(batch))
+	}
+	got := map[pdb.Value]float64{}
+	for _, a := range streamed {
+		got[a.Vals[0]] = a.P
+	}
+	for _, a := range batch {
+		p, ok := got[a.Vals[0]]
+		if !ok {
+			t.Fatalf("batch answer %v missing from stream (stream %v)", a.Vals, streamed)
+		}
+		if math.Abs(p-a.P) > 1e-9 {
+			t.Fatalf("answer %v: streamed P %v, batch P %v", a.Vals, p, a.P)
+		}
+	}
+}
+
+// TestFacadeStreamCancellation cancels the context mid-stream and
+// requires a partial, error-carrying iterator: a proven prefix,
+// followed by a final context.Canceled element.
+func TestFacadeStreamCancellation(t *testing.T) {
+	s, rel := facadeWorkload(120)
+	db := repro.NewDB(s, rel)
+	sess := db.Session(repro.WithEps(1e-6), repro.WithForceLineage())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var answers int
+	var finalErr error
+	for a, err := range sess.Query("answers").GroupLineage(0).TopK(10).Run(ctx) {
+		if err != nil {
+			finalErr = err
+			continue
+		}
+		_ = a
+		answers++
+		cancel() // cancel after the first proven answer, keep iterating
+	}
+	if answers == 0 {
+		t.Fatal("cancelled stream yielded no answers at all, want a partial prefix")
+	}
+	if !errors.Is(finalErr, context.Canceled) {
+		t.Fatalf("stream ended with %v, want context.Canceled", finalErr)
+	}
+}
+
+// TestFacadeSessionsConcurrent runs N goroutines over one DB — some on
+// private sessions, some sharing one cache across sessions — under the
+// race detector, and checks every result against a single-threaded
+// baseline.
+func TestFacadeSessionsConcurrent(t *testing.T) {
+	db := smallDB(t)
+	ctx := context.Background()
+
+	baselineSess := db.Session()
+	baseline, err := baselineSess.Query("R").Join(baselineSess.Query("S"), 1, 0).GroupLineage(3).All(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rel2 := facadeWorkload(40)
+	rankDB := repro.NewDB(s2, rel2)
+	rankBaseSess := rankDB.Session(repro.WithEps(1e-6), repro.WithForceLineage())
+	rankBaseline, err := rankBaseSess.Query("answers").GroupLineage(0).TopK(5).All(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := repro.NewProbCache(0)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			opts := []repro.SessionOption{}
+			if w%2 == 0 {
+				opts = append(opts, repro.WithSharedCache(shared))
+			}
+			sess := db.Session(opts...)
+			got, err := sess.Query("R").Join(sess.Query("S"), 1, 0).GroupLineage(3).All(ctx)
+			if err != nil {
+				errs <- fmt.Errorf("worker %d: %w", w, err)
+				return
+			}
+			if len(got) != len(baseline) {
+				errs <- fmt.Errorf("worker %d: %d answers, want %d", w, len(got), len(baseline))
+				return
+			}
+			for i := range got {
+				if got[i].Vals[0] != baseline[i].Vals[0] || math.Abs(got[i].P-baseline[i].P) > 1e-12 {
+					errs <- fmt.Errorf("worker %d: answer %d diverged", w, i)
+					return
+				}
+			}
+
+			rsess := rankDB.Session(repro.WithEps(1e-6), repro.WithForceLineage())
+			top, err := rsess.Query("answers").GroupLineage(0).TopK(5).All(ctx)
+			if err != nil {
+				errs <- fmt.Errorf("worker %d topk: %w", w, err)
+				return
+			}
+			if len(top) != len(rankBaseline) {
+				errs <- fmt.Errorf("worker %d topk: %d answers, want %d", w, len(top), len(rankBaseline))
+				return
+			}
+			for i := range top {
+				if top[i].Vals[0] != rankBaseline[i].Vals[0] {
+					errs <- fmt.Errorf("worker %d topk: rank %d is %v, want %v",
+						w, i, top[i].Vals, rankBaseline[i].Vals)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestFacadeEvaluatorOptions pins the session evaluator derivation:
+// WithEps yields the ε-approximation carrying the session cache and
+// budget, WithEvaluator wins verbatim, and the default is exact.
+func TestFacadeEvaluatorOptions(t *testing.T) {
+	db := smallDB(t)
+
+	if _, ok := db.Session().Evaluator().(engine.Exact); !ok {
+		t.Fatalf("default evaluator %T, want engine.Exact", db.Session().Evaluator())
+	}
+
+	b := repro.Budget{MaxNodes: 123}
+	sess := db.Session(repro.WithEps(0.01), repro.WithBudget(b))
+	ap, ok := sess.Evaluator().(engine.Approx)
+	if !ok {
+		t.Fatalf("WithEps evaluator %T, want engine.Approx", sess.Evaluator())
+	}
+	if ap.Eps != 0.01 || ap.Budget != b || ap.Cache != sess.Cache() {
+		t.Fatalf("derived Approx %+v does not carry the session knobs", ap)
+	}
+
+	custom := engine.MonteCarlo{Eps: 0.1, Delta: 0.01}
+	if ev := db.Session(repro.WithEvaluator(custom)).Evaluator(); ev != custom {
+		t.Fatalf("WithEvaluator returned %v, want the installed evaluator", ev)
+	}
+}

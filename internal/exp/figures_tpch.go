@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 
+	"repro"
 	"repro/internal/engine"
 	"repro/internal/formula"
 	"repro/internal/pdb"
@@ -184,16 +185,28 @@ func Fig6c(p Params) *Table {
 // for each workload query, the paper class, the chosen route and the
 // planner's reasoning. The acceptance property — hierarchical → safe,
 // IQ → sorted scan, hard → d-tree — is what the routing test asserts.
+// The catalog IR is compiled through the DB/Session/Query façade, the
+// same path a serving client takes, so the table also smoke-tests the
+// façade's build validation over every catalog query.
 func RoutingTable(p Params) *Table {
 	p = p.withDefaults()
 	db := tpch.Generate(tpch.Config{SF: p.SF, ProbHigh: 1, Seed: p.Seed})
+	fdb := repro.NewDB(db.Space,
+		db.Region, db.Nation, db.Supplier, db.Customer,
+		db.Part, db.PartSupp, db.Orders, db.Lineitem)
+	sess := fdb.Session()
 	t := &Table{
 		ID:     "route",
 		Title:  fmt.Sprintf("planner routing over the TPC-H catalog, SF %g", p.SF),
 		Header: []string{"query", "class", "route", "why"},
 	}
 	for _, entry := range db.Catalog() {
-		pl := plan.Compile(entry.Node)
+		pr, err := sess.Query(entry.Node).Build()
+		if err != nil {
+			t.Rows = append(t.Rows, []string{entry.Name, string(entry.Class), "ERR", err.Error()})
+			continue
+		}
+		pl := pr.Plan()
 		t.Rows = append(t.Rows, []string{
 			entry.Name, string(entry.Class), pl.Route.String(), pl.Why,
 		})

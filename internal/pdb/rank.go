@@ -35,24 +35,31 @@ func lineages(answers []Answer) []formula.DNF {
 	return dnfs
 }
 
-// rankedConfs turns the scheduler's selection into AnswerConf values in
-// rank order. Res carries the bounds at the point refinement stopped.
+// RankedConf turns one scheduler outcome into an AnswerConf. Res
+// carries the bounds at the point refinement stopped for the answer.
 // Converged keeps its engine meaning — the estimate carries the Eps
 // guarantee — which for early-proven answers with wide bounds is false
 // (their P is the interval midpoint); the membership proof itself is
-// rank.Item.Decided, available through the returned rank.Result.
+// rank.Item.Decided. Streaming consumers (rank.Options.OnDecided, the
+// plan/facade iterators) use it to shape emitted items exactly like the
+// batch operators' results.
+func RankedConf(a Answer, it rank.Item) AnswerConf {
+	return AnswerConf{
+		Vals: a.Vals,
+		P:    it.P,
+		Res: engine.Result{
+			Lo: it.Lo, Hi: it.Hi, Estimate: it.P,
+			Exact: it.Lo == it.Hi, Converged: it.Converged,
+		},
+	}
+}
+
+// rankedConfs turns the scheduler's selection into AnswerConf values in
+// rank order.
 func rankedConfs(answers []Answer, res rank.Result) []AnswerConf {
 	out := make([]AnswerConf, 0, len(res.Ranking))
 	for _, idx := range res.Ranking {
-		it := res.Items[idx]
-		out = append(out, AnswerConf{
-			Vals: answers[idx].Vals,
-			P:    it.P,
-			Res: engine.Result{
-				Lo: it.Lo, Hi: it.Hi, Estimate: it.P,
-				Exact: it.Lo == it.Hi, Converged: it.Converged,
-			},
-		})
+		out = append(out, RankedConf(answers[idx], res.Items[idx]))
 	}
 	return out
 }

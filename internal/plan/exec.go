@@ -29,6 +29,16 @@ type cursor interface {
 // answers. The answer values and order are identical to the legacy
 // eager evaluator's.
 func Lineage(root Node) []pdb.Answer {
+	return LineageWith(root, nil)
+}
+
+// LineageWith is Lineage running the pipeline through a caller-owned
+// clause interner (nil allocates a fresh one). Reusing one interner
+// across the queries of a database keeps canonical clause instances —
+// and the allocation they cost — shared; an Interner is not safe for
+// concurrent use, so callers must hand each concurrent pipeline its
+// own (the façade DB keeps a pool).
+func LineageWith(root Node, in *formula.Interner) []pdb.Answer {
 	if root == nil {
 		return nil
 	}
@@ -36,7 +46,9 @@ func Lineage(root Node) []pdb.Answer {
 	if !ok {
 		g = &GroupLineage{Input: root}
 	}
-	in := formula.NewInterner()
+	if in == nil {
+		in = formula.NewInterner()
+	}
 	cur := newCursor(g.Input, in)
 	if len(g.Cols) == 0 {
 		return booleanSink(cur)

@@ -187,15 +187,18 @@ func (p *Plan) Lineage() []pdb.Answer {
 // engine.Approx's Eps/Kind/Order/Budget/Cache become the refinement
 // floor — see rankOptionsFrom).
 func (p *Plan) Answers(ctx context.Context, s *formula.Space, ev engine.Evaluator) ([]pdb.AnswerConf, error) {
+	return p.AnswersWith(ctx, s, ev, nil)
+}
+
+// AnswersWith is Answers running the lineage pipeline through a
+// caller-owned clause interner (nil allocates a fresh one; see
+// LineageWith).
+func (p *Plan) AnswersWith(ctx context.Context, s *formula.Space, ev engine.Evaluator, in *formula.Interner) ([]pdb.AnswerConf, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	// A malformed ranking plan fails identically on every route.
-	if p.rank != nil && p.rank.topk && p.rank.k <= 0 {
-		return nil, fmt.Errorf("plan: TopK.K must be positive, got %d", p.rank.k)
-	}
-	if p.nestedRank {
-		return nil, fmt.Errorf("plan: ranking nodes (TopK/Threshold) must be the plan root")
+	if err := p.validate(); err != nil {
+		return nil, err
 	}
 	switch p.Route {
 	case RouteSafe:
@@ -227,8 +230,8 @@ func (p *Plan) Answers(ctx context.Context, s *formula.Space, ev engine.Evaluato
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		answers := LineageWith(p.Root, in)
 		if p.rank != nil {
-			answers := p.Lineage()
 			opt := rankOptionsFrom(ev)
 			if p.rank.topk {
 				confs, _, err := pdb.ConfTopK(ctx, s, answers, p.rank.k, opt)
@@ -240,8 +243,20 @@ func (p *Plan) Answers(ctx context.Context, s *formula.Space, ev engine.Evaluato
 		if ev == nil {
 			ev = engine.Exact{}
 		}
-		return pdb.Conf(ctx, s, p.Lineage(), ev)
+		return pdb.Conf(ctx, s, answers, ev)
 	}
+}
+
+// validate rejects malformed ranking plans; the failure is identical on
+// every route and execution surface (Answers and Stream).
+func (p *Plan) validate() error {
+	if p.rank != nil && p.rank.topk && p.rank.k <= 0 {
+		return fmt.Errorf("plan: TopK.K must be positive, got %d", p.rank.k)
+	}
+	if p.nestedRank {
+		return fmt.Errorf("plan: ranking nodes (TopK/Threshold) must be the plan root")
+	}
+	return nil
 }
 
 // rankExact applies a ranking root to exactly-computed answers: sort

@@ -73,6 +73,21 @@ type Options struct {
 	// bounds membership required — cheaper, and the point of anytime
 	// ranking.
 	Resolve bool
+	// OnDecided, when non-nil, is invoked synchronously from the
+	// scheduling loop the moment an answer's membership is *proven*
+	// (status decided-in: fewer than k answers can possibly rank above
+	// it / its lower bound reached τ) — the streaming emit hook. The
+	// Item snapshot carries the bounds, estimate and step counts at
+	// proof time, with Selected and Decided already true and
+	// DecidedAtStep recording the scheduler's cumulative step count.
+	// Because answers decide in provable order, a consumer receives the
+	// proven members of the selection before the scheduler finishes
+	// refining the rest; borderline answers cut by estimate never fire
+	// the hook and must be read from the final Result. Under Resolve the
+	// post-proof refinement is not re-emitted (the final Result carries
+	// the resolved estimates). The callback must not block: the
+	// scheduler is stalled while it runs.
+	OnDecided func(Item)
 }
 
 func (o Options) stepBudget() int {
@@ -116,6 +131,12 @@ type Item struct {
 	// only the interval midpoint — run with Resolve to converge every
 	// selected answer.
 	Converged bool
+	// DecidedAtStep is the scheduler's cumulative step count at the
+	// moment this answer's membership was proven (zero for answers never
+	// decided by bound separation). For streamed answers it is always at
+	// most the run's final Result.Steps; a strict inequality proves the
+	// answer was delivered before refinement of the rest finished.
+	DecidedAtStep int
 }
 
 // Result is a ranking run's outcome.
@@ -408,11 +429,36 @@ func (sc *sched) decideTopK(k int) {
 		}
 		switch {
 		case certain >= k:
-			sc.status[a] = decidedOut
+			sc.markOut(a)
 		case possible < k:
-			sc.status[a] = decidedIn
+			sc.markIn(a)
 		}
 	}
+}
+
+// markIn records a proven membership and fires the streaming hook with
+// a snapshot of the answer at proof time.
+func (sc *sched) markIn(i int) {
+	sc.status[i] = decidedIn
+	sc.items[i].DecidedAtStep = sc.steps
+	if sc.opt.OnDecided == nil {
+		return
+	}
+	it := sc.items[i]
+	res := sc.refs[i].Result()
+	it.P = res.Estimate
+	it.Converged = res.Converged
+	it.Steps = sc.refs[i].Steps()
+	it.Selected = true
+	it.Decided = true
+	sc.opt.OnDecided(it)
+}
+
+// markOut records a proven non-membership (never emitted: the stream
+// carries the selection only).
+func (sc *sched) markOut(i int) {
+	sc.status[i] = decidedOut
+	sc.items[i].DecidedAtStep = sc.steps
 }
 
 // selectTopK builds the top-k selection: proven members first, then
@@ -446,9 +492,9 @@ func (sc *sched) decideThreshold(tau float64) {
 		}
 		switch {
 		case sc.items[i].Lo >= tau:
-			sc.status[i] = decidedIn
+			sc.markIn(i)
 		case sc.items[i].Hi < tau:
-			sc.status[i] = decidedOut
+			sc.markOut(i)
 		}
 	}
 }

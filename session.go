@@ -1,0 +1,110 @@
+package repro
+
+import (
+	"repro/internal/engine"
+	"repro/internal/formula"
+	"repro/internal/plan"
+)
+
+// Session scopes the per-client state of the façade: a subformula
+// probability cache shared by every query the session runs, a default
+// evaluation budget, and a default evaluator derived from them. A
+// Session is cheap (create one per request, or keep one per client for
+// cache warmth across queries) and safe for concurrent use — N
+// goroutines may run queries on one Session, and N Sessions may share
+// one DB; the cache is concurrent and everything else is read-only
+// after creation.
+type Session struct {
+	db           *DB
+	cache        *formula.ProbCache
+	budget       engine.Budget
+	eps          float64
+	kind         engine.ErrorKind
+	eval         engine.Evaluator
+	forceLineage bool
+}
+
+// SessionOption configures a Session at creation.
+type SessionOption func(*Session)
+
+// WithBudget sets the session's default evaluation budget
+// (nodes / work / samples / wall clock). It bounds the session's
+// default evaluator; an evaluator installed with WithEvaluator carries
+// its own budget and is used verbatim.
+func WithBudget(b Budget) SessionOption {
+	return func(s *Session) { s.budget = b }
+}
+
+// WithEps sets the session's refinement floor: queries evaluate lineage
+// with the ε-approximation (absolute error, Definition 5.7) instead of
+// exact d-tree compilation, and ranked queries stop refining each
+// answer at the same floor. Use WithEvaluator for relative error or a
+// different algorithm.
+func WithEps(eps float64) SessionOption {
+	return func(s *Session) { s.eps, s.kind = eps, engine.Absolute }
+}
+
+// WithEvaluator installs the evaluator queries hand lineage to,
+// overriding the Eps/Budget-derived default. The evaluator is used
+// verbatim — wire the session's cache in yourself if it should share
+// (see Session.Cache). Ranked queries derive their scheduler
+// configuration from it, exactly like Plan.Answers.
+func WithEvaluator(ev Evaluator) SessionOption {
+	return func(s *Session) { s.eval = ev }
+}
+
+// WithSharedCache makes the session memoize subformula probabilities in
+// the given cache instead of a fresh private one — the cross-session
+// sharing knob: sessions over one DB handed the same cache compute each
+// recurring lineage fragment once, whoever sees it first.
+func WithSharedCache(c *ProbCache) SessionOption {
+	return func(s *Session) { s.cache = c }
+}
+
+// WithForceLineage disables the planner's structural routes (safe
+// plans, IQ sorted scans) for the session's queries, forcing lineage
+// materialization plus d-tree evaluation — the ablation/debugging knob,
+// and the way to get anytime streaming on a query the planner would
+// otherwise answer exactly.
+func WithForceLineage() SessionOption {
+	return func(s *Session) { s.forceLineage = true }
+}
+
+// Session opens a session on the DB. With no options: a fresh private
+// probability cache, no budget, exact evaluation.
+func (db *DB) Session(opts ...SessionOption) *Session {
+	s := &Session{db: db}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.cache == nil {
+		s.cache = formula.NewProbCache(0)
+	}
+	return s
+}
+
+// DB returns the database the session runs against.
+func (s *Session) DB() *DB { return s.db }
+
+// Cache returns the session's subformula probability cache (the private
+// one, or the cache installed by WithSharedCache).
+func (s *Session) Cache() *ProbCache { return s.cache }
+
+// Evaluator returns the evaluator the session's queries hand lineage
+// to: the one installed by WithEvaluator, else the ε-approximation at
+// the WithEps floor, else exact d-tree compilation — the derived
+// evaluators carrying the session's budget and cache.
+func (s *Session) Evaluator() Evaluator {
+	if s.eval != nil {
+		return s.eval
+	}
+	if s.eps > 0 {
+		return engine.Approx{Eps: s.eps, Kind: s.kind, Budget: s.budget, Cache: s.cache}
+	}
+	return engine.Exact{Budget: s.budget, Cache: s.cache}
+}
+
+// planOptions translates the session knobs into planner options.
+func (s *Session) planOptions() plan.Options {
+	return plan.Options{DisableSafe: s.forceLineage, DisableIQ: s.forceLineage}
+}

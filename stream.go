@@ -1,0 +1,42 @@
+package repro
+
+import (
+	"iter"
+
+	"repro/internal/pdb"
+)
+
+// Answer is one streamed query answer: the tuple values, the confidence
+// estimate P, and the full evaluation outcome (bounds, node and cache
+// counters) in Res. On anytime streams the bounds are the interval at
+// the moment membership was proven; Res.Converged reports whether P
+// already carries the session's ε guarantee.
+type Answer = pdb.AnswerConf
+
+// Collect drains an answer stream into a slice. It stops at the
+// stream's first error and returns the answers yielded before it — for
+// anytime streams the proven prefix — alongside that error.
+func Collect(seq iter.Seq2[Answer, error]) ([]Answer, error) {
+	var out []Answer
+	for a, err := range seq {
+		if err != nil {
+			return out, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// First returns the stream's first answer — on an anytime stream, the
+// first answer whose membership was proven, available before the query
+// finishes — and cancels the rest of the run. ok is false on an empty
+// stream.
+func First(seq iter.Seq2[Answer, error]) (a Answer, ok bool, err error) {
+	for ans, e := range seq {
+		if e != nil {
+			return Answer{}, false, e
+		}
+		return ans, true, nil
+	}
+	return Answer{}, false, nil
+}
