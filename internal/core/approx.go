@@ -66,6 +66,15 @@ type Options struct {
 	DisableClosing     bool // never close leaves (Section V-D off)
 	DisableSubsumption bool // skip subsumed-clause removal (Fig. 1 step 1 off)
 	DisableBucketSort  bool // skip probability-sorting in LeafBounds
+
+	// refScan restores the Refiner's original O(tree)-per-Step
+	// bookkeeping — a full bottom-up bounds recompute and a whole-tree
+	// widest-leaf rescan after every refinement — instead of the
+	// incremental dirty-path propagation and open-leaf heap. The two
+	// paths produce bitwise-identical bounds and refinement orders
+	// (property-tested); the reference path is retained only for
+	// differential tests and benchmarks inside this package.
+	refScan bool
 }
 
 // Result reports the outcome of Approx or Exact.

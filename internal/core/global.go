@@ -39,27 +39,59 @@ type gNode struct {
 	children []*gNode
 	mult     float64 // ⊕ branch weight (P(x=a)); 1 elsewhere
 	frag     frag    // for leaves
+
+	// Incremental bookkeeping (see incremental.go): parent/childIdx/
+	// depth locate the node for dirty-path bound propagation and for
+	// the heap's DFS-preorder tie-break; lo/hi cache the node's current
+	// combined interval (a leaf's heuristic bounds until it is refined).
+	parent   *gNode
+	childIdx int32
+	depth    int32
+	lo, hi   float64
 }
 
 func (n *gNode) isLeaf() bool { return len(n.children) == 0 }
 
-// bounds recomputes the node's probability interval bottom-up,
-// including each child's branch weight.
+// bounds recomputes the node's probability interval bottom-up over the
+// whole subtree, including each child's branch weight. It is the
+// O(tree) reference implementation retained for the refScan path and
+// the differential tests; the hot path maintains the same values
+// incrementally (see gNode.recompute), bitwise-identically.
 func (n *gNode) bounds() (lo, hi float64) {
+	var sc boundsScratch
+	return n.boundsWith(&sc, 0)
+}
+
+// boundsWith is bounds with caller-provided scratch buffers: one
+// lo/hi slice pair per tree level, reused across calls, so repeated
+// full recomputes (the refScan reference path) allocate only on tree
+// growth. The operations and their order are exactly those of the
+// original per-call-allocating implementation.
+func (n *gNode) boundsWith(sc *boundsScratch, depth int) (lo, hi float64) {
 	if n.isLeaf() {
 		return n.frag.lo, n.frag.hi
 	}
-	loArr := make([]float64, len(n.children))
-	hiArr := make([]float64, len(n.children))
-	for i, c := range n.children {
-		l, h := c.bounds()
+	for len(sc.lo) <= depth {
+		sc.lo = append(sc.lo, nil)
+		sc.hi = append(sc.hi, nil)
+	}
+	loArr, hiArr := sc.lo[depth][:0], sc.hi[depth][:0]
+	for _, c := range n.children {
+		l, h := c.boundsWith(sc, depth+1)
 		m := c.mult
 		if m == 0 {
 			m = 1
 		}
-		loArr[i], hiArr[i] = m*l, m*h
+		loArr = append(loArr, m*l)
+		hiArr = append(hiArr, m*h)
 	}
+	sc.lo[depth], sc.hi[depth] = loArr, hiArr // keep grown capacity
 	return combine(n.kind, loArr, hiArr)
+}
+
+// boundsScratch holds the per-level slice buffers of boundsWith.
+type boundsScratch struct {
+	lo, hi [][]float64
 }
 
 // complete reports whether every leaf is exact.
@@ -76,7 +108,11 @@ func (n *gNode) complete() bool {
 }
 
 // widestLeaf returns the open leaf with the largest bounds interval, or
-// nil if every leaf is exact.
+// nil if every leaf is exact. Width ties go to the first such leaf in
+// DFS preorder (the scan below keeps the first strictly-widest hit).
+// This is the O(tree) reference implementation retained for the refScan
+// path; the hot path keeps the open leaves in a heap with the same
+// ordering (see leafHeap).
 func (n *gNode) widestLeaf() *gNode {
 	if n.isLeaf() {
 		if n.frag.exact {
@@ -97,13 +133,18 @@ func (n *gNode) widestLeaf() *gNode {
 }
 
 // refine decomposes the leaf one level, turning it into an inner node
-// whose children are freshly prepared fragments.
+// whose children are freshly prepared fragments wired for incremental
+// propagation (parent pointers, cached heuristic bounds).
 func (st *state) refine(leaf *gNode) {
 	kind, children, mult := st.decompose(leaf.frag.d)
 	leaf.kind = kind
 	leaf.children = make([]*gNode, len(children))
 	for i, f := range children {
-		leaf.children[i] = &gNode{frag: f, mult: mult[i]}
+		leaf.children[i] = &gNode{
+			frag: f, mult: mult[i],
+			parent: leaf, childIdx: int32(i), depth: leaf.depth + 1,
+			lo: f.lo, hi: f.hi,
+		}
 	}
 	st.nodes.Add(int64(len(children)))
 }

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/randdnf"
+)
+
+// BenchmarkRefinerStep measures the per-refinement cost of Refiner.Step
+// as the materialized tree grows: each sub-benchmark runs a refiner to
+// its node budget and reports ns/step. The incremental path (dirty-path
+// propagation + open-leaf heap) must scale sublinearly in tree size;
+// the reference path recomputes O(tree) per step and is retained here
+// so the algorithmic change stays measurable in isolation (its own
+// per-call allocations are already fixed via reused scratch buffers).
+func BenchmarkRefinerStep(b *testing.B) {
+	for _, clauses := range []int{40, 80, 160, 320} {
+		cfg := randdnf.Config{
+			Vars: 6 * clauses / 5, Clauses: clauses, MaxWidth: 3, ForceWidth: true,
+			MaxDomain: 2, MinProb: 0.01, MaxProb: 0.15,
+		}
+		s, d := randdnf.Generate(cfg, int64(clauses))
+		// A tight Eps with a node budget: every run refines maxNodes
+		// worth of tree, so ns/step is comparable across sizes.
+		opt := Options{Eps: 1e-12, Kind: Absolute, MaxNodes: 40 * clauses}
+		for _, ref := range []bool{false, true} {
+			name := fmt.Sprintf("clauses=%d/incremental", clauses)
+			o := opt
+			if ref {
+				name = fmt.Sprintf("clauses=%d/reference", clauses)
+				o.refScan = true
+			}
+			b.Run(name, func(b *testing.B) {
+				totalSteps := 0
+				for i := 0; i < b.N; i++ {
+					r := NewRefiner(context.Background(), s, d, o)
+					for !r.Done() {
+						r.Step(64)
+					}
+					if r.Steps() == 0 {
+						b.Fatal("workload refines in zero steps; grow it")
+					}
+					totalSteps += r.Steps()
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalSteps), "ns/step")
+				b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+			})
+		}
+	}
+}

@@ -2,6 +2,7 @@ package rank
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/formula"
@@ -40,6 +41,35 @@ const (
 	benchK   = 10
 	benchEps = 1e-6
 )
+
+// benchAnswersDeep is the deep-lineage variant: fewer answers, each
+// with enough clauses that refinement builds trees of hundreds of
+// nodes. Here the per-step d-tree cost dominates the run (on the
+// benchAnswers workload per-answer preparation does), so this is the
+// regime where the incremental dirty-path/heap bookkeeping shows up
+// in wall-clock, not just step counts.
+func benchAnswersDeep(nAnswers int) (*formula.Space, []formula.DNF) {
+	s := formula.NewSpace()
+	vars := make([]formula.Var, 6*nAnswers)
+	for i := range vars {
+		vars[i] = s.AddBool(0.01 + 0.12*float64(i%13)/13)
+	}
+	dnfs := make([]formula.DNF, nAnswers)
+	for i := 0; i < nAnswers; i++ {
+		clauses := 40 + i%25
+		var d formula.DNF
+		for j := 0; j < clauses; j++ {
+			a := vars[(6*i+j)%len(vars)]
+			b := vars[(6*i+3*j+1)%len(vars)]
+			c := vars[(11*i+j+2)%len(vars)]
+			if cl, ok := formula.NewClause(formula.Pos(a), formula.Pos(b), formula.Pos(c)); ok {
+				d = append(d, cl)
+			}
+		}
+		dnfs[i] = d.Normalize()
+	}
+	return s, dnfs
+}
 
 // TestTopKPrunesVsFull is the acceptance property behind
 // BenchmarkTopKVsFull: ranking the top 10 of 240 answers must cost
@@ -106,6 +136,62 @@ func BenchmarkTopKVsFull(b *testing.B) {
 		}
 		b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
 	})
+	sd, deep := benchAnswersDeep(48)
+	b.Run("topk-deep", func(b *testing.B) {
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			res, err := TopK(context.Background(), sd, deep, benchK, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += res.Steps
+		}
+		b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+	})
+	b.Run("full-deep", func(b *testing.B) {
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			res, err := RefineAll(context.Background(), sd, deep, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += res.Steps
+		}
+		b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+	})
+}
+
+// BenchmarkDecide measures the per-grant scheduling cost (decide pass
+// + pick) as the answer count grows: the same top-k run under the
+// event-driven decide index versus the retained full-rescan reference
+// scheduler. Both spend identical refinement steps — the refiners'
+// work is common to both — so time/op differences isolate the
+// scheduling layer: O(affected · log n) + heap pick versus O(n²)
+// rescan + linear pick per grant.
+func BenchmarkDecide(b *testing.B) {
+	for _, n := range []int{60, 240, 960} {
+		s, dnfs := benchAnswers(n)
+		opt := Options{Eps: benchEps}
+		for _, full := range []bool{false, true} {
+			name := fmt.Sprintf("n=%d/incremental", n)
+			o := opt
+			if full {
+				name = fmt.Sprintf("n=%d/fullscan", n)
+				o.fullScan = true
+			}
+			b.Run(name, func(b *testing.B) {
+				steps := 0
+				for i := 0; i < b.N; i++ {
+					res, err := TopK(context.Background(), s, dnfs, benchK, o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					steps += res.Steps
+				}
+				b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+			})
+		}
+	}
 }
 
 // BenchmarkThresholdVsFull measures the τ-cut scheduler the same way.

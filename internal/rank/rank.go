@@ -20,6 +20,15 @@
 // pool (leaf preparation inside each refinement step fans out); the
 // scheduling itself is sequential and deterministic — ties everywhere
 // are broken by answer index, so a ranking is reproducible.
+//
+// Scheduling is event-driven: each grant tightens exactly one answer's
+// interval, so the decide pass re-examines only the answers that
+// tightening can affect (O(affected · log n) per grant against sorted
+// bound arrays, instead of an O(n²) rescan of all answer pairs) and
+// the next grantee comes from a width-ordered heap (O(log n) instead
+// of a linear scan). The reference full-rescan scheduler is retained
+// internally for differential testing; both make identical decisions
+// in identical order.
 package rank
 
 import (
@@ -73,6 +82,14 @@ type Options struct {
 	// bounds membership required — cheaper, and the point of anytime
 	// ranking.
 	Resolve bool
+	// fullScan restores the reference schedulers: a full O(n²) rescan
+	// of all answer pairs before every grant and a linear widest-
+	// interval pick, instead of the event-driven decide index and the
+	// width-ordered heap. Both paths make bitwise-identical decisions
+	// in the same order (property-tested); the reference path is
+	// retained only for differential tests and benchmarks inside this
+	// package.
+	fullScan bool
 	// OnDecided, when non-nil, is invoked synchronously from the
 	// scheduling loop the moment an answer's membership is *proven*
 	// (status decided-in: fewer than k answers can possibly rank above
@@ -161,7 +178,9 @@ const (
 )
 
 // sched carries one ranking run: a refiner per answer plus the
-// scheduling state.
+// scheduling state. The decide index and pick heap are built lazily on
+// first use, so RefineAll (which neither decides nor picks) never pays
+// for them.
 type sched struct {
 	ctx    context.Context
 	opt    Options
@@ -169,6 +188,8 @@ type sched struct {
 	items  []Item
 	status []status
 	steps  int
+	ix     *decideIndex
+	ph     *widthHeap
 }
 
 func newSched(ctx context.Context, s *formula.Space, dnfs []formula.DNF, opt Options) *sched {
@@ -201,8 +222,23 @@ func beats(b, a *Item) bool {
 }
 
 // pick returns the undecided answer with the widest interval that can
-// still be refined, or -1. Width ties go to the lower index.
+// still be refined, or -1. Width ties go to the lower index. The heap
+// serves this in O(1) (grants re-sift in O(log n)); pickFull is the
+// retained linear reference scan.
 func (sc *sched) pick() int {
+	if sc.opt.fullScan {
+		return sc.pickFull()
+	}
+	if sc.ph == nil {
+		sc.ph = newWidthHeap(sc)
+	}
+	if len(sc.ph.idx) == 0 {
+		return -1
+	}
+	return sc.ph.idx[0]
+}
+
+func (sc *sched) pickFull() int {
 	best, bestW := -1, -1.0
 	for i := range sc.items {
 		if sc.status[i] != undecided || sc.refs[i].Done() {
@@ -237,9 +273,14 @@ func (sc *sched) quantum() (int, bool) {
 // is later cut by estimate, like the Eps floor).
 func (sc *sched) grant(i, quantum int) error {
 	before := sc.refs[i].Steps()
+	oldLo, oldHi := sc.items[i].Lo, sc.items[i].Hi
 	lo, hi, _ := sc.refs[i].Step(quantum)
 	sc.steps += sc.refs[i].Steps() - before
 	sc.items[i].Lo, sc.items[i].Hi = lo, hi
+	if sc.ix != nil {
+		sc.ix.update(i, oldLo, oldHi, lo, hi)
+	}
+	sc.ph.refile(i, sc.refs[i].Done() || sc.status[i] != undecided)
 	if err := sc.refs[i].Err(); err != nil && !errors.Is(err, core.ErrBudget) {
 		return err
 	}
@@ -340,6 +381,9 @@ func schedule(ctx context.Context, s *formula.Space, dnfs []formula.DNF, opt Opt
 	sc.estimates()
 	ranking := sel(sc)
 	if err == nil && opt.Resolve {
+		// No decide pass runs after selection: drop the index so
+		// resolve-phase grants stop paying for its maintenance.
+		sc.ix = nil
 		err = sc.resolve(ranking)
 		sc.estimates()
 		sc.sortByEstimate(ranking)
@@ -404,8 +448,54 @@ func (sc *sched) run(decide func()) error {
 // decideTopK promotes undecided answers whose membership in the top-k
 // set is already provable from the current intervals: out when at
 // least k answers certainly rank above it, in when fewer than k
-// answers possibly do.
+// answers possibly do. The first pass re-decides everything; after
+// that, each grant tightened exactly one interval and only the
+// answers that tightening can affect are re-decided, each in
+// O(log n) against the sorted bound arrays — O(affected · log n) per
+// grant in place of the reference full O(n²) rescan.
 func (sc *sched) decideTopK(k int) {
+	if sc.opt.fullScan {
+		sc.decideTopKFull(k)
+		return
+	}
+	if sc.ix == nil {
+		sc.ix = newDecideIndex(sc.items, true)
+		for a := range sc.items {
+			if sc.status[a] == undecided {
+				sc.decideOneTopK(a, k)
+			}
+		}
+		return
+	}
+	for _, a := range sc.ix.drain(sc) {
+		if sc.status[a] == undecided {
+			sc.decideOneTopK(a, k)
+		}
+	}
+}
+
+// decideOneTopK re-decides a single answer from the sorted bound
+// arrays: certain beaters are the answers whose Lo clears its Hi,
+// possible beaters the answers whose Hi clears its Lo (beats
+// tie-breaks included; the answer's own Hi > Lo entry is discounted).
+func (sc *sched) decideOneTopK(a, k int) {
+	it := &sc.items[a]
+	if countAbove(sc.ix.los, it.Hi, a) >= k {
+		sc.markOut(a)
+		return
+	}
+	possible := countAbove(sc.ix.his, it.Lo, a)
+	if it.Hi > it.Lo {
+		possible-- // own entry counted among Hi > Lo
+	}
+	if possible < k {
+		sc.markIn(a)
+	}
+}
+
+// decideTopKFull is the retained reference implementation: a full
+// rescan of all answer pairs.
+func (sc *sched) decideTopKFull(k int) {
 	n := len(sc.items)
 	for a := 0; a < n; a++ {
 		if sc.status[a] != undecided {
@@ -440,6 +530,7 @@ func (sc *sched) decideTopK(k int) {
 // a snapshot of the answer at proof time.
 func (sc *sched) markIn(i int) {
 	sc.status[i] = decidedIn
+	sc.ph.remove(i)
 	sc.items[i].DecidedAtStep = sc.steps
 	if sc.opt.OnDecided == nil {
 		return
@@ -458,6 +549,7 @@ func (sc *sched) markIn(i int) {
 // carries the selection only).
 func (sc *sched) markOut(i int) {
 	sc.status[i] = decidedOut
+	sc.ph.remove(i)
 	sc.items[i].DecidedAtStep = sc.steps
 }
 
@@ -485,7 +577,42 @@ func (sc *sched) selectTopK(k int) []int {
 	return in
 }
 
+// decideThreshold is event-driven like decideTopK, but a τ-cut
+// decision reads only the answer's own bounds, so each grant re-checks
+// exactly the granted answer — O(1) per grant after the first pass.
 func (sc *sched) decideThreshold(tau float64) {
+	if sc.opt.fullScan {
+		sc.decideThresholdFull(tau)
+		return
+	}
+	if sc.ix == nil {
+		sc.ix = newDecideIndex(sc.items, false)
+		for i := range sc.items {
+			if sc.status[i] == undecided {
+				sc.decideOneThreshold(i, tau)
+			}
+		}
+		return
+	}
+	for _, i := range sc.ix.drain(sc) {
+		if sc.status[i] == undecided {
+			sc.decideOneThreshold(i, tau)
+		}
+	}
+}
+
+func (sc *sched) decideOneThreshold(i int, tau float64) {
+	switch {
+	case sc.items[i].Lo >= tau:
+		sc.markIn(i)
+	case sc.items[i].Hi < tau:
+		sc.markOut(i)
+	}
+}
+
+// decideThresholdFull is the retained reference implementation: every
+// undecided answer re-checked before every grant.
+func (sc *sched) decideThresholdFull(tau float64) {
 	for i := range sc.items {
 		if sc.status[i] != undecided {
 			continue
