@@ -1,0 +1,218 @@
+// Command benchdiff compares two Go benchmark result files and fails
+// when the new results regress past a threshold — the CI guard that
+// keeps the committed BENCH_*.json files honest.
+//
+//	benchdiff -old BENCH_rank.json -new fresh.json [-threshold 25]
+//
+// Both files may be `go test -json` streams (the committed format:
+// benchmark text is reassembled from the Output events, which split
+// rows mid-line) or plain `go test -bench` text. Rows are matched by
+// benchmark name (GOMAXPROCS suffix stripped, same-name runs
+// averaged); only names present in both files are compared, so adding
+// or retiring benchmarks never fails the diff.
+//
+// Time and allocation metrics (ns/op, B/op, allocs/op) are
+// lower-is-better and regress when new > old · (1 + threshold/100).
+// steps/op is a determinism metric, not a performance one: refinement
+// step counts are machine-independent, so any change is reported as a
+// mismatch regardless of threshold.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metrics holds one benchmark's values by unit (ns/op, steps/op, ...).
+type metrics map[string]float64
+
+// lowerIsBetter lists the units guarded by the regression threshold.
+var lowerIsBetter = []string{"ns/op", "B/op", "allocs/op"}
+
+// exactUnits lists machine-independent units that must not drift at
+// all: a change means the algorithm made different decisions, not that
+// the machine was slow.
+var exactUnits = []string{"steps/op"}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline results (go test -json stream or -bench text)")
+	newPath := flag.String("new", "", "fresh results to compare against the baseline")
+	threshold := flag.Float64("threshold", 25, "allowed regression on time/alloc metrics, percent")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRows, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *oldPath, err)
+		os.Exit(2)
+	}
+	newRows, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *newPath, err)
+		os.Exit(2)
+	}
+	if len(oldRows) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark rows in %s\n", *oldPath)
+		os.Exit(2)
+	}
+	if len(newRows) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark rows in %s\n", *newPath)
+		os.Exit(2)
+	}
+
+	var names []string
+	for name := range oldRows {
+		if _, ok := newRows[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sortStrings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark names in common")
+		os.Exit(2)
+	}
+
+	failures := 0
+	for _, name := range names {
+		o, n := oldRows[name], newRows[name]
+		for _, unit := range exactUnits {
+			ov, okO := o[unit]
+			nv, okN := n[unit]
+			if !okO || !okN {
+				continue
+			}
+			if ov != nv {
+				fmt.Printf("MISMATCH  %s  %s: %v -> %v (machine-independent metric changed)\n",
+					name, unit, ov, nv)
+				failures++
+			}
+		}
+		for _, unit := range lowerIsBetter {
+			ov, okO := o[unit]
+			nv, okN := n[unit]
+			if !okO || !okN || ov == 0 {
+				continue
+			}
+			delta := (nv - ov) / ov * 100
+			switch {
+			case delta > *threshold:
+				fmt.Printf("REGRESSED %s  %s: %.4g -> %.4g (%+.1f%%, threshold %.1f%%)\n",
+					name, unit, ov, nv, delta, *threshold)
+				failures++
+			default:
+				fmt.Printf("ok        %s  %s: %.4g -> %.4g (%+.1f%%)\n", name, unit, ov, nv, delta)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchdiff: %d failure(s) across %d compared benchmark(s)\n", failures, len(names))
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmark(s) within threshold\n", len(names))
+}
+
+// parseFile reads benchmark rows from a go-test-json stream or plain
+// benchmark text, returning per-name metric averages.
+func parseFile(path string) (map[string]metrics, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := reassemble(string(raw))
+	sums := map[string]metrics{}
+	counts := map[string]map[string]int{}
+	for _, line := range strings.Split(text, "\n") {
+		name, m, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if sums[name] == nil {
+			sums[name] = metrics{}
+			counts[name] = map[string]int{}
+		}
+		for unit, v := range m {
+			sums[name][unit] += v
+			counts[name][unit]++
+		}
+	}
+	for name, m := range sums {
+		for unit := range m {
+			m[unit] /= float64(counts[name][unit])
+		}
+	}
+	return sums, nil
+}
+
+// reassemble concatenates the Output events of a `go test -json`
+// stream back into plain text (result rows are split across events
+// mid-line). Input that is not a JSON stream is returned unchanged.
+func reassemble(raw string) string {
+	var sb strings.Builder
+	jsonLines := 0
+	for _, line := range strings.Split(raw, "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "{") {
+			continue
+		}
+		var ev struct {
+			Action string `json:"Action"`
+			Output string `json:"Output"`
+		}
+		if json.Unmarshal([]byte(line), &ev) != nil {
+			continue
+		}
+		jsonLines++
+		if ev.Action == "output" {
+			sb.WriteString(ev.Output)
+		}
+	}
+	if jsonLines == 0 {
+		return raw
+	}
+	return sb.String()
+}
+
+// parseBenchLine parses one `name N v1 unit1 v2 unit2 ...` benchmark
+// result row.
+func parseBenchLine(line string) (string, metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	// fields[1] is the iteration count; value/unit pairs follow.
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false
+	}
+	name := procSuffix.ReplaceAllString(fields[0], "")
+	m := metrics{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		m[fields[i+1]] = v
+	}
+	if len(m) == 0 {
+		return "", nil, false
+	}
+	return name, m, true
+}
+
+// sortStrings is insertion sort — a handful of benchmark names, no
+// need to pull in sort for a deterministic report order.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

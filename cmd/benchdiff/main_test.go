@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const jsonStream = `{"Action":"start","Package":"p"}
+{"Action":"output","Package":"p","Output":"BenchmarkTopKVsFull/topk \t"}
+{"Action":"output","Package":"p","Output":"       3\t   2392671 ns/op\t        11.00 steps/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkTopKVsFull/full-deep-8 \t"}
+{"Action":"output","Package":"p","Output":"       3\t  77044553 ns/op\t      3449 steps/op\n"}
+{"Action":"pass","Package":"p"}
+`
+
+func TestParseJSONStreamReassemblesSplitRows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(jsonStream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("parsed %d rows, want 2: %v", len(rows), rows)
+	}
+	m := rows["BenchmarkTopKVsFull/topk"]
+	if m["ns/op"] != 2392671 || m["steps/op"] != 11 {
+		t.Fatalf("topk metrics = %v", m)
+	}
+	// The GOMAXPROCS suffix must be stripped; "-deep" must not be.
+	if _, ok := rows["BenchmarkTopKVsFull/full-deep"]; !ok {
+		t.Fatalf("full-deep row missing (suffix handling): %v", rows)
+	}
+}
+
+func TestParsePlainTextAndAveraging(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	text := "goos: linux\n" +
+		"BenchmarkX-8   100   2000 ns/op   64 B/op   3 allocs/op\n" +
+		"BenchmarkX-8   100   4000 ns/op   64 B/op   3 allocs/op\n" +
+		"PASS\n"
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rows["BenchmarkX"]
+	if m == nil || m["ns/op"] != 3000 || m["B/op"] != 64 || m["allocs/op"] != 3 {
+		t.Fatalf("averaged metrics = %v", m)
+	}
+}
+
+func TestParseBenchLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkTopKVsFull/topk",       // progress line, no count
+		"pkg: repro/internal/rank",       // header
+		"--- FAIL: BenchmarkX",           // failure marker
+		"BenchmarkX notanint 12 ns/op",   // malformed count
+		"ok  \trepro/internal/rank 1.2s", // summary
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Fatalf("parseBenchLine accepted %q", line)
+		}
+	}
+}

@@ -141,6 +141,11 @@ type (
 	// ProbCache is the hash-consed subformula probability memo table
 	// shared across evaluations of one probability space.
 	ProbCache = formula.ProbCache
+	// FragCache is the prepared-fragment memo table — normalized form,
+	// heuristic bounds and component partition of leaf fragments —
+	// shared across evaluations of one probability space like
+	// ProbCache, but short-circuiting leaf preparation itself.
+	FragCache = formula.FragCache
 )
 
 // Query-planner types: one logical plan IR, routed to safe plans, IQ
@@ -224,6 +229,8 @@ var (
 	AConf = mc.AConf
 	// NewProbCache returns an empty subformula probability cache.
 	NewProbCache = formula.NewProbCache
+	// NewFragCache returns an empty prepared-fragment cache.
+	NewFragCache = formula.NewFragCache
 	// SproutPlan adapts an exact query-structural computation to the
 	// Evaluator API.
 	SproutPlan = engine.SproutPlan

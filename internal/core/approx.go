@@ -56,6 +56,17 @@ type Options struct {
 	// different Space.
 	Cache *formula.ProbCache
 
+	// Frags, when non-nil, memoizes prepared leaf fragments — the
+	// normalized, subsumption-reduced form together with its heuristic
+	// bounds and component partition. It is the prepared-statement
+	// analogue of Cache: where Cache only pays off once a fragment's
+	// exact probability has been computed, Frags short-circuits the
+	// whole preparation pipeline (normalize, reduce, leaf bounds),
+	// which profiling shows dominates ranking workloads. Share one
+	// Frags across evaluations over the same Space exactly like Cache;
+	// it must not be reused with a different Space.
+	Frags *formula.FragCache
+
 	// Sequential disables parallel exploration of independent d-tree
 	// branches. Parallel exploration is on by default and produces
 	// bitwise-identical results; Sequential exists for measurement and
@@ -75,6 +86,14 @@ type Options struct {
 	// (property-tested); the reference path is retained only for
 	// differential tests and benchmarks inside this package.
 	refScan bool
+
+	// refPrepare restores the original leaf-preparation pipeline: no
+	// prepared-fragment cache, no construction-aware Normalize /
+	// RemoveSubsumed skips, per-call allocation of every scratch
+	// buffer. Like refScan it produces bitwise-identical bounds and
+	// traces (property-tested) and exists only for differential tests
+	// and benchmarks inside this package.
+	refPrepare bool
 }
 
 // Result reports the outcome of Approx or Exact.
@@ -221,49 +240,106 @@ type state struct {
 	done           bool
 	doneLo, doneHi float64
 	cancelErr      error
+
+	// variant partitions Options.Frags keys by the switches preparation
+	// depends on; see prepVariant.
+	variant uint8
 }
 
 func newState(ctx context.Context, s *formula.Space, opt Options) *state {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &state{s: s, opt: opt, ctx: ctx, pooled: workpool.Parallelism() > 1}
+	return &state{
+		s: s, opt: opt, ctx: ctx,
+		pooled:  workpool.Parallelism() > 1,
+		variant: prepVariant(opt),
+	}
 }
 
 // frag is a prepared DNF fragment: normalized, subsumption-reduced, with
-// heuristic bounds already computed.
+// heuristic bounds already computed. entry, when non-nil, is the
+// fragment-cache entry backing it, which additionally memoizes the
+// component partition across decompositions.
 type frag struct {
 	d      formula.DNF
 	lo, hi float64
 	exact  bool
+	entry  *formula.PreparedFrag
 }
 
 func (st *state) prepare(d formula.DNF) frag {
-	st.work.Add(int64(len(d)))
-	d = d.Normalize()
+	return st.prepareAs(d, false, false)
+}
+
+// prepareAs prepares fragment d. The flags declare properties d has by
+// construction so that content no-op passes are skipped: normalized
+// means d is duplicate-free (Normalize would return identical content),
+// reduced means d carries no subsumed clause (RemoveSubsumed would
+// too). Decomposition children earn these flags structurally: component
+// Selects and independent-and projections of a normalized parent are
+// duplicate-free, Shannon restrictions are deduplicated on the way out,
+// and component Selects of a reduced parent are reduced (a subsuming
+// pair shares the subsumed clause's variables, hence its component).
+//
+// With Options.Frags configured, the fragment is looked up before any
+// of that and stored after; a hit replays the work charge of a warm
+// reference rerun (PreparedFrag.Work) so MaxWork budget traces stay
+// identical with and without the cache.
+func (st *state) prepareAs(d formula.DNF, normalized, reduced bool) frag {
+	if st.opt.refPrepare {
+		return st.prepareRef(d)
+	}
+	c := st.opt.Frags
+	if c != nil {
+		if e, ok := c.Lookup(d, st.variant); ok {
+			st.work.Add(e.Work)
+			return frag{d: e.D, lo: e.Lo, hi: e.Hi, exact: e.Exact, entry: e}
+		}
+	}
+	key := d
+	w := int64(len(key))
+	st.work.Add(w)
+	store := func(f frag, warmWork int64) frag {
+		if c == nil {
+			return f
+		}
+		e := &formula.PreparedFrag{D: f.d, Lo: f.lo, Hi: f.hi, Exact: f.exact, Work: warmWork}
+		f.entry = c.Store(key, st.variant, e)
+		return f
+	}
+	if !normalized {
+		d = d.Normalize()
+	}
 	if d.IsTrue() {
-		return frag{d: d, lo: 1, hi: 1, exact: true}
+		return store(frag{d: d, lo: 1, hi: 1, exact: true}, w)
 	}
 	if d.IsFalse() {
-		return frag{d: d, lo: 0, hi: 0, exact: true}
+		return store(frag{d: d, lo: 0, hi: 0, exact: true}, w)
 	}
-	if !st.opt.DisableSubsumption {
+	if !st.opt.DisableSubsumption && !reduced {
 		d = d.RemoveSubsumed()
 	}
 	if len(d) == 1 {
 		p := d[0].Probability(st.s)
-		return frag{d: d, lo: p, hi: p, exact: true}
+		return store(frag{d: d, lo: p, hi: p, exact: true}, w)
 	}
 	if len(d) <= incExcMaxClauses {
+		// A warm reference rerun re-pays the 2^k inclusion-exclusion
+		// only when no probability cache absorbs it.
+		warm := w
 		p := st.cachedProb(d, func() float64 {
 			st.work.Add(1 << len(d))
+			if st.opt.Cache == nil {
+				warm += 1 << len(d)
+			}
 			return inclusionExclusion(st.s, d)
 		})
-		return frag{d: d, lo: p, hi: p, exact: true}
+		return store(frag{d: d, lo: p, hi: p, exact: true}, warm)
 	}
 	lo, hi, ops := leafBounds(st.s, d, !st.opt.DisableBucketSort)
 	st.work.Add(int64(ops))
-	return frag{d: d, lo: lo, hi: hi, exact: lo == hi}
+	return store(frag{d: d, lo: lo, hi: hi, exact: lo == hi}, w+int64(ops))
 }
 
 // cachedProb memoizes compute() for multi-clause fragments when a cache
@@ -364,7 +440,7 @@ func (st *state) explore(f frag, cx bctx) (lo, hi float64) {
 	}
 
 	// (3) Decompose per Figure 1.
-	kind, children, mult := st.decompose(f.d)
+	kind, children, mult := st.decompose(f)
 
 	// Effective child bounds (scaled by the ⊕ branch weight where
 	// applicable); refined in place as children complete.
@@ -407,8 +483,53 @@ func (st *state) explore(f frag, cx bctx) (lo, hi float64) {
 // returns the node kind, the prepared children, and the per-child
 // multiplier (P(x = a) for Shannon branches, 1 otherwise). Child
 // preparation (the quadratic leaf-bounds heuristic) fans out on the
-// worker pool when the fragment is large enough.
-func (st *state) decompose(d formula.DNF) (Kind, []frag, []float64) {
+// worker pool when the fragment is large enough. Children inherit the
+// construction guarantees documented on prepareAs, so their
+// preparation skips the corresponding no-op passes; the component
+// partition is memoized on the fragment-cache entry when present.
+func (st *state) decompose(f frag) (Kind, []frag, []float64) {
+	d := f.d
+	if st.opt.refPrepare {
+		return st.decomposeRef(d)
+	}
+	if comps := st.components(f); len(comps) > 1 {
+		subs := make([]formula.DNF, len(comps))
+		mult := make([]float64, len(comps))
+		for i, idx := range comps {
+			subs[i] = d.Select(idx)
+			mult[i] = 1
+		}
+		return IndepOr, st.prepareAll(subs, true, true), mult
+	}
+	if parts := independentAndParts(st.s, d); parts != nil {
+		mult := make([]float64, len(parts))
+		for i := range mult {
+			mult[i] = 1
+		}
+		return IndepAnd, st.prepareAll(parts, true, false), mult
+	}
+	x := chooseVar(st.s, d, st.opt.Order)
+	var subs []formula.DNF
+	var mult []float64
+	sc := prepPool.Get().(*prepScratch)
+	for a := 0; a < st.s.DomainSize(x); a++ {
+		sub := restrictPrepared(d, x, formula.Val(a), sc)
+		if sub.IsFalse() {
+			continue
+		}
+		st.nodes.Add(1) // the {{x=a}} ⊙-companion leaf
+		subs = append(subs, sub)
+		mult = append(mult, st.s.P(formula.Atom{Var: x, Val: formula.Val(a)}))
+	}
+	prepPool.Put(sc)
+	return ExclOr, st.prepareAll(subs, true, false), mult
+}
+
+// decomposeRef is decompose on the original preparation pipeline:
+// fresh component partition, allocating Restrict, no construction
+// flags. Retained behind Options.refPrepare for the differential
+// property tests.
+func (st *state) decomposeRef(d formula.DNF) (Kind, []frag, []float64) {
 	if comps := d.Components(); len(comps) > 1 {
 		subs := make([]formula.DNF, len(comps))
 		mult := make([]float64, len(comps))
@@ -416,14 +537,14 @@ func (st *state) decompose(d formula.DNF) (Kind, []frag, []float64) {
 			subs[i] = d.Select(idx)
 			mult[i] = 1
 		}
-		return IndepOr, st.prepareAll(subs), mult
+		return IndepOr, st.prepareAll(subs, false, false), mult
 	}
 	if parts := independentAndParts(st.s, d); parts != nil {
 		mult := make([]float64, len(parts))
 		for i := range mult {
 			mult[i] = 1
 		}
-		return IndepAnd, st.prepareAll(parts), mult
+		return IndepAnd, st.prepareAll(parts, false, false), mult
 	}
 	x := chooseVar(st.s, d, st.opt.Order)
 	var subs []formula.DNF
@@ -437,7 +558,7 @@ func (st *state) decompose(d formula.DNF) (Kind, []frag, []float64) {
 		subs = append(subs, sub)
 		mult = append(mult, st.s.P(formula.Atom{Var: x, Val: formula.Val(a)}))
 	}
-	return ExclOr, st.prepareAll(subs), mult
+	return ExclOr, st.prepareAll(subs, false, false), mult
 }
 
 // childCtx builds the bound context for child i of a node of the given

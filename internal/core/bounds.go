@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"math/bits"
+	"slices"
 
 	"repro/internal/formula"
 )
@@ -27,8 +28,22 @@ func LeafBounds(s *formula.Space, d formula.DNF, sortClauses bool) (lo, hi float
 // leafBounds additionally reports the number of clause-processing
 // operations performed, which the incremental algorithm charges against
 // its work budget (the heuristic is the quadratic part of the paper's
-// cost analysis).
+// cost analysis). It draws scratch buffers from the preparation pool;
+// leafBoundsScratch is the same computation over caller-owned scratch.
 func leafBounds(s *formula.Space, d formula.DNF, sortClauses bool) (lo, hi float64, ops int) {
+	sc := prepPool.Get().(*prepScratch)
+	lo, hi, ops = leafBoundsScratch(s, d, sortClauses, sc)
+	prepPool.Put(sc)
+	return lo, hi, ops
+}
+
+// leafBoundsScratch is the allocation-free heart of the Figure 3
+// heuristic: all per-call bookkeeping (clause probabilities, the sort
+// permutation, the used set, and the per-bucket variable stamps) lives
+// in sc and is reused across calls. The arithmetic and its order are
+// exactly those of the original per-call-allocating implementation, so
+// the bounds are bitwise-identical.
+func leafBoundsScratch(s *formula.Space, d formula.DNF, sortClauses bool, sc *prepScratch) (lo, hi float64, ops int) {
 	switch {
 	case d.IsFalse():
 		return 0, 0, 0
@@ -39,16 +54,26 @@ func leafBounds(s *formula.Space, d formula.DNF, sortClauses bool) (lo, hi float
 		return p, p, 1
 	}
 
-	probs := make([]float64, len(d))
+	probs := sc.floats(len(d))
 	for i, c := range d {
 		probs[i] = c.Probability(s)
 	}
-	order := make([]int, len(d))
+	order := sc.ints(len(d))
 	for i := range order {
 		order[i] = i
 	}
 	if sortClauses {
-		sort.SliceStable(order, func(a, b int) bool { return probs[order[a]] > probs[order[b]] })
+		// A stable sort's output is uniquely determined, so swapping the
+		// sort implementation cannot reorder equal-probability clauses.
+		slices.SortStableFunc(order, func(a, b int) int {
+			switch {
+			case probs[a] > probs[b]:
+				return -1
+			case probs[a] < probs[b]:
+				return 1
+			}
+			return 0
+		})
 	}
 
 	maxVar := formula.Var(-1)
@@ -57,17 +82,16 @@ func leafBounds(s *formula.Space, d formula.DNF, sortClauses bool) (lo, hi float
 			maxVar = c[len(c)-1].Var
 		}
 	}
-	inBucket := make([]uint32, maxVar+1) // epoch stamps, one bucket per epoch
-	epoch := uint32(0)
+	inBucket := sc.stamps(int(maxVar) + 1) // epoch stamps, one bucket per epoch
 
-	used := make([]bool, len(d))
+	used := sc.bools(len(d))
 	remaining := len(d)
 	sum := 0.0
 	buckets := 0
 	for remaining > 0 {
 		// Start a bucket with the most probable unused clause, then absorb
 		// every later unused clause independent of the bucket so far.
-		epoch++
+		epoch := sc.nextEpoch()
 		q := 1.0 // Π (1 − P(clause)) over the bucket
 		started := false
 		for _, i := range order {
@@ -173,22 +197,13 @@ func inclusionExclusion(s *formula.Space, d formula.DNF) float64 {
 		if !ok {
 			continue
 		}
-		if bitsOnInt(mask)%2 == 1 {
+		if bits.OnesCount(uint(mask))%2 == 1 {
 			total += p
 		} else {
 			total -= p
 		}
 	}
 	return clamp01(total)
-}
-
-func bitsOnInt(x int) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
 }
 
 func disjointStamp(c formula.Clause, stamps []uint32, epoch uint32) bool {

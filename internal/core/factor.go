@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 
 	"repro/internal/formula"
@@ -70,7 +71,7 @@ func factorRec(s *formula.Space, d formula.DNF, tags []int32) []formula.DNF {
 		if mask == (1<<n)-1 {
 			continue // improper
 		}
-		splits = append(splits, split{mask, popcount(mask)})
+		splits = append(splits, split{mask, bits.OnesCount(uint(mask))})
 	}
 	sort.Slice(splits, func(i, j int) bool {
 		if splits[i].bits != splits[j].bits {
@@ -211,13 +212,4 @@ func projEqual(s *formula.Space, c1, c2 formula.Clause, inS map[int32]bool, side
 		i++
 		j++
 	}
-}
-
-func popcount(x int) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
 }

@@ -136,7 +136,7 @@ func (n *gNode) widestLeaf() *gNode {
 // whose children are freshly prepared fragments wired for incremental
 // propagation (parent pointers, cached heuristic bounds).
 func (st *state) refine(leaf *gNode) {
-	kind, children, mult := st.decompose(leaf.frag.d)
+	kind, children, mult := st.decompose(leaf.frag)
 	leaf.kind = kind
 	leaf.children = make([]*gNode, len(children))
 	for i, f := range children {

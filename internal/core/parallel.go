@@ -59,21 +59,23 @@ func (st *state) exactChildren(subs []formula.DNF) ([]float64, error) {
 	return ps, nil
 }
 
-// prepareAll prepares every child fragment, in parallel when worthwhile.
-// prepare touches only atomic counters and read-only state, and the
-// output order matches subs, so parallel preparation leaves the
-// subsequent (sequential) bound refinement unchanged.
-func (st *state) prepareAll(subs []formula.DNF) []frag {
+// prepareAll prepares every child fragment, in parallel when worthwhile,
+// forwarding the construction flags documented on prepareAs. prepareAs
+// touches only atomic counters, the (concurrency-safe) caches, and
+// read-only state, and the output order matches subs, so parallel
+// preparation leaves the subsequent (sequential) bound refinement
+// unchanged.
+func (st *state) prepareAll(subs []formula.DNF, normalized, reduced bool) []frag {
 	frags := make([]frag, len(subs))
 	if !st.parallelizable(subs) {
 		for i, sub := range subs {
-			frags[i] = st.prepare(sub)
+			frags[i] = st.prepareAs(sub, normalized, reduced)
 		}
 		return frags
 	}
 	tasks := make([]func(), len(subs))
 	for i := range subs {
-		tasks[i] = func() { frags[i] = st.prepare(subs[i]) }
+		tasks[i] = func() { frags[i] = st.prepareAs(subs[i], normalized, reduced) }
 	}
 	workpool.Run(tasks...)
 	return frags

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/formula"
+)
+
+// This file holds the leaf-preparation hot path. Every d-tree node the
+// compiler constructs starts as a prepared fragment — normalization,
+// subsumption removal, and the Figure 3 heuristic bounds — and PR-5
+// profiling showed that preparation, not refinement bookkeeping,
+// dominates the canonical ranking workloads (>50% of samples). Three
+// mechanisms make preparation proportional to *new* work:
+//
+//   - a prepared-fragment cache (formula.FragCache, Options.Frags):
+//     identical subformulas across the answers of a query and across
+//     Shannon siblings prepare once, and the component partition a
+//     later refinement needs is memoized on the entry;
+//   - construction-aware shortcuts: decomposition children are
+//     duplicate-free by construction (component Selects and
+//     independent-and projections of a normalized parent, Shannon
+//     restrictions deduplicated on the way out), and component Selects
+//     are subsumption-free too, so prepare skips Normalize /
+//     RemoveSubsumed passes that would be content no-ops;
+//   - pooled epoch-stamped scratch (prepScratch) for the remaining
+//     per-prepare buffers: leaf-bounds probabilities / sort
+//     permutation / bucket stamps, the restrict dedup table, and the
+//     union-find of the component partition.
+//
+// The original allocate-everything pipeline is retained verbatim
+// behind the internal Options.refPrepare flag; the differential
+// property tests in prepare_test.go prove both pipelines
+// bitwise-identical across full refinement and ranking traces.
+
+// prepScratch bundles the reusable buffers of leaf preparation. One
+// scratch serves one preparation at a time; concurrent preparations
+// (prepareAll fanning out on the worker pool) draw distinct scratches
+// from prepPool.
+type prepScratch struct {
+	fs    []float64 // leafBounds: clause probabilities
+	is    []int     // leafBounds: sort permutation
+	bs    []bool    // leafBounds: used set
+	st    []uint32  // leafBounds: per-bucket variable stamps
+	epoch uint32    // current stamp epoch for st
+
+	comp  formula.CompScratch // component partition union-find
+	dedup dedupTable          // restrict dedup
+}
+
+var prepPool = sync.Pool{New: func() any { return new(prepScratch) }}
+
+// floats returns a length-n float buffer (contents undefined).
+func (sc *prepScratch) floats(n int) []float64 {
+	if cap(sc.fs) < n {
+		sc.fs = make([]float64, n)
+	}
+	sc.fs = sc.fs[:n]
+	return sc.fs
+}
+
+// ints returns a length-n int buffer (contents undefined).
+func (sc *prepScratch) ints(n int) []int {
+	if cap(sc.is) < n {
+		sc.is = make([]int, n)
+	}
+	sc.is = sc.is[:n]
+	return sc.is
+}
+
+// bools returns a length-n zeroed bool buffer.
+func (sc *prepScratch) bools(n int) []bool {
+	if cap(sc.bs) < n {
+		sc.bs = make([]bool, n)
+		return sc.bs
+	}
+	sc.bs = sc.bs[:n]
+	clear(sc.bs)
+	return sc.bs
+}
+
+// stamps returns the stamp buffer grown to cover n entries. Entries
+// are validated by comparison against epochs issued by nextEpoch, so
+// stale contents never need clearing.
+func (sc *prepScratch) stamps(n int) []uint32 {
+	if cap(sc.st) < n {
+		grown := make([]uint32, n)
+		copy(grown, sc.st)
+		sc.st = grown
+	}
+	sc.st = sc.st[:n]
+	return sc.st
+}
+
+// nextEpoch starts a fresh stamp epoch, clearing the buffer on the
+// (once per 2^32 buckets) wraparound so stale stamps cannot alias it.
+func (sc *prepScratch) nextEpoch() uint32 {
+	sc.epoch++
+	if sc.epoch == 0 {
+		clear(sc.st)
+		sc.epoch = 1
+	}
+	return sc.epoch
+}
+
+// dedupTable removes duplicate clauses in first-occurrence order — the
+// exact semantics of DNF.Normalize — over a reusable open-addressing
+// table instead of a freshly allocated map.
+type dedupTable struct {
+	idx   []int32
+	stamp []uint32
+	epoch uint32
+}
+
+// dedup compacts d in place (the caller owns d's backing array) and
+// returns the duplicate-free prefix, preserving first occurrences in
+// order. Collisions are resolved by structural comparison, so the
+// result matches Normalize clause for clause.
+func (t *dedupTable) dedup(d formula.DNF) formula.DNF {
+	want := 2 * len(d)
+	size := len(t.idx)
+	if size < want {
+		size = 16
+		for size < want {
+			size <<= 1
+		}
+		t.idx = make([]int32, size)
+		t.stamp = make([]uint32, size)
+		t.epoch = 0
+	}
+	t.epoch++
+	if t.epoch == 0 {
+		clear(t.stamp)
+		t.epoch = 1
+	}
+	mask := uint64(size - 1)
+	out := d[:0]
+	for _, c := range d {
+		slot := c.Hash() & mask
+		for {
+			if t.stamp[slot] != t.epoch {
+				t.stamp[slot] = t.epoch
+				t.idx[slot] = int32(len(out))
+				out = append(out, c)
+				break
+			}
+			if out[t.idx[slot]].Equal(c) {
+				break // duplicate: keep the first occurrence only
+			}
+			slot = (slot + 1) & mask
+		}
+	}
+	return out
+}
+
+// restrictPrepared is Shannon restriction d|v=a for a *prepared*
+// (duplicate-free) d. It matches DNF.Restrict output clause for
+// clause: when no surviving clause lost an atom the result is a
+// subset of d and needs no deduplication at all; otherwise duplicates
+// are removed in first-occurrence order over the scratch table.
+func restrictPrepared(d formula.DNF, v formula.Var, a formula.Val, sc *prepScratch) formula.DNF {
+	out := make(formula.DNF, 0, len(d))
+	shrank := false
+	for _, c := range d {
+		if r, ok := c.Restrict(v, a); ok {
+			if len(r) != len(c) {
+				shrank = true
+			}
+			out = append(out, r)
+		}
+	}
+	if !shrank || len(out) <= 1 {
+		return out
+	}
+	return sc.dedup.dedup(out)
+}
+
+// prepVariant encodes the Options switches preparation depends on —
+// the ablation flags that change the prepared form or its bounds, and
+// ProbCache presence, which changes the warm work charge a cache hit
+// must replay. The FragCache partitions its key space by it, so
+// evaluations with different settings can share one cache.
+func prepVariant(opt Options) uint8 {
+	v := uint8(0)
+	if opt.DisableSubsumption {
+		v |= 1
+	}
+	if opt.DisableBucketSort {
+		v |= 2
+	}
+	if opt.Cache == nil {
+		v |= 4
+	}
+	return v
+}
+
+// components returns the component partition of f.d — memoized on the
+// fragment-cache entry when f came through one (identical fragments
+// across answers and Shannon branches partition once), computed over
+// pooled union-find scratch otherwise.
+func (st *state) components(f frag) [][]int {
+	if f.entry != nil {
+		if comps, ok := f.entry.Components(); ok {
+			return comps
+		}
+	}
+	sc := prepPool.Get().(*prepScratch)
+	comps := f.d.ComponentsScratch(&sc.comp)
+	prepPool.Put(sc)
+	if f.entry != nil {
+		f.entry.SetComponents(comps)
+	}
+	return comps
+}
+
+// prepareRef is the original leaf-preparation pipeline, retained
+// verbatim behind Options.refPrepare as the reference for the
+// differential property tests: no fragment cache, no
+// construction-aware shortcuts — every fragment is re-normalized,
+// re-reduced and re-bounded from scratch.
+func (st *state) prepareRef(d formula.DNF) frag {
+	st.work.Add(int64(len(d)))
+	d = d.Normalize()
+	if d.IsTrue() {
+		return frag{d: d, lo: 1, hi: 1, exact: true}
+	}
+	if d.IsFalse() {
+		return frag{d: d, lo: 0, hi: 0, exact: true}
+	}
+	if !st.opt.DisableSubsumption {
+		d = d.RemoveSubsumed()
+	}
+	if len(d) == 1 {
+		p := d[0].Probability(st.s)
+		return frag{d: d, lo: p, hi: p, exact: true}
+	}
+	if len(d) <= incExcMaxClauses {
+		p := st.cachedProb(d, func() float64 {
+			st.work.Add(1 << len(d))
+			return inclusionExclusion(st.s, d)
+		})
+		return frag{d: d, lo: p, hi: p, exact: true}
+	}
+	lo, hi, ops := leafBounds(st.s, d, !st.opt.DisableBucketSort)
+	st.work.Add(int64(ops))
+	return frag{d: d, lo: lo, hi: hi, exact: lo == hi}
+}

@@ -174,6 +174,10 @@ type Approx struct {
 	Budget Budget
 	// Cache, when non-nil, memoizes exact subformula probabilities.
 	Cache *formula.ProbCache
+	// Frags, when non-nil, memoizes prepared leaf fragments
+	// (normalized/reduced form, heuristic bounds, component partition)
+	// across evaluations sharing it — same Space only, like Cache.
+	Frags *formula.FragCache
 	// Sequential disables parallel exploration.
 	Sequential bool
 	// Global selects the materialized largest-interval-first variant.
@@ -187,7 +191,7 @@ func (e Approx) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (
 	opt := core.Options{
 		Eps: e.Eps, Kind: e.Kind, Order: e.Order,
 		MaxNodes: e.Budget.MaxNodes, MaxWork: e.Budget.MaxWork,
-		Cache: e.Cache, Sequential: e.Sequential,
+		Cache: e.Cache, Frags: e.Frags, Sequential: e.Sequential,
 	}
 	var res core.Result
 	var err error

@@ -1,0 +1,108 @@
+package formula
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randComponentsDNF builds a DNF with several variable-disjoint blocks,
+// interleaved clause order, plus the occasional empty clause — the
+// shapes Components has to partition.
+func randComponentsDNF(rng *rand.Rand, blocks, clausesPerBlock int) DNF {
+	var d DNF
+	for j := 0; j < clausesPerBlock; j++ {
+		for b := 0; b < blocks; b++ {
+			base := Var(100 * b)
+			w := 1 + rng.Intn(3)
+			atoms := make([]Atom, 0, w)
+			for k := 0; k < w; k++ {
+				atoms = append(atoms, Atom{Var: base + Var(rng.Intn(20)), Val: True})
+			}
+			if c, ok := NewClause(atoms...); ok {
+				d = append(d, c)
+			}
+		}
+	}
+	return d.Normalize()
+}
+
+// The scratch-based partition must equal the fresh-allocation public
+// entry point on every input, including when one scratch is reused
+// across many differently-shaped DNFs (stale epochs must never leak).
+func TestComponentsScratchMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var sc CompScratch
+	for iter := 0; iter < 300; iter++ {
+		d := randComponentsDNF(rng, 1+rng.Intn(5), 1+rng.Intn(8))
+		if rng.Intn(7) == 0 {
+			d = append(d, Clause{}) // "true" clause: its own component
+		}
+		fresh := d.Components()
+		reused := d.ComponentsScratch(&sc)
+		if !reflect.DeepEqual(fresh, reused) {
+			t.Fatalf("iter %d: scratch partition %v != fresh %v", iter, reused, fresh)
+		}
+		total := 0
+		for _, g := range fresh {
+			total += len(g)
+		}
+		if total != len(d) {
+			t.Fatalf("iter %d: partition covers %d of %d clauses", iter, total, len(d))
+		}
+	}
+}
+
+func TestComponentsBlocksAndOrder(t *testing.T) {
+	// Two blocks interleaved: {0,1}, {100,101}. Groups must come out in
+	// first-clause order with ascending indices.
+	d := DNF{
+		MustClause(Atom{0, True}, Atom{1, True}),
+		MustClause(Atom{100, True}, Atom{101, True}),
+		MustClause(Atom{1, True}),
+		MustClause(Atom{101, True}),
+	}
+	got := d.Components()
+	want := [][]int{{0, 2}, {1, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Components = %v, want %v", got, want)
+	}
+}
+
+// A variable chain links every clause into one component through
+// pairwise shared variables. At 200k clauses the recursive union-find
+// this replaced would push 100k+ stack frames; the iterative
+// path-halving find must handle it in flat space.
+func TestComponentsLongChainIterative(t *testing.T) {
+	const n = 200_000
+	d := make(DNF, 0, n)
+	for i := 0; i < n; i++ {
+		d = append(d, MustClause(Atom{Var(i), True}, Atom{Var(i + 1), True}))
+	}
+	comps := d.ComponentsScratch(&CompScratch{})
+	if len(comps) != 1 {
+		t.Fatalf("chain split into %d components, want 1", len(comps))
+	}
+	if len(comps[0]) != n {
+		t.Fatalf("component holds %d clauses, want %d", len(comps[0]), n)
+	}
+	for i, idx := range comps[0] {
+		if idx != i {
+			t.Fatalf("component indices out of order at %d: %d", i, idx)
+		}
+	}
+}
+
+// Reversed chain: unions always attach the lower root under the higher
+// one, the worst case for naive parent chains.
+func TestComponentsLongChainReversed(t *testing.T) {
+	const n = 100_000
+	d := make(DNF, 0, n)
+	for i := n; i > 0; i-- {
+		d = append(d, MustClause(Atom{Var(i - 1), True}, Atom{Var(i), True}))
+	}
+	comps := d.Components()
+	if len(comps) != 1 || len(comps[0]) != n {
+		t.Fatalf("reversed chain: %d components, first of size %d", len(comps), len(comps[0]))
+	}
+}

@@ -194,15 +194,6 @@ func subsetPresent(c Clause, index *clauseIndex, self int, widths uint16) bool {
 
 const maxEnumWidthAtoms = 12
 
-func bitsOn(x int) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
-}
-
 // Restrict returns d|v=a: clauses inconsistent with v = a removed, the
 // atom v = a removed from the remaining clauses (Shannon expansion step).
 // The result is not re-normalized; callers that need subsumption removal
@@ -215,71 +206,6 @@ func (d DNF) Restrict(v Var, a Val) DNF {
 		}
 	}
 	return out.Normalize()
-}
-
-// Components partitions the clause indices of d into groups whose variable
-// sets are connected in the dependency graph of d (clauses sharing a
-// variable are connected). Each group is an independent sub-DNF; this is
-// the independent-or ⊗ decomposition. Groups are returned in order of
-// their first clause.
-func (d DNF) Components() [][]int {
-	maxVar := Var(-1)
-	for _, c := range d {
-		if len(c) > 0 && c[len(c)-1].Var > maxVar {
-			maxVar = c[len(c)-1].Var
-		}
-	}
-	// Union-find over a dense slice; -1 marks unseen variables.
-	parent := make([]Var, maxVar+1)
-	for i := range parent {
-		parent[i] = -1
-	}
-	var find func(v Var) Var
-	find = func(v Var) Var {
-		if parent[v] < 0 {
-			parent[v] = v
-			return v
-		}
-		if parent[v] == v {
-			return v
-		}
-		r := find(parent[v])
-		parent[v] = r
-		return r
-	}
-	for _, c := range d {
-		for i := 1; i < len(c); i++ {
-			ra, rb := find(c[0].Var), find(c[i].Var)
-			if ra != rb {
-				parent[ra] = rb
-			}
-		}
-	}
-	groups := make(map[Var][]int)
-	var order []Var
-	var empties []int
-	for i, c := range d {
-		if len(c) == 0 {
-			empties = append(empties, i)
-			continue
-		}
-		r := find(c[0].Var)
-		if _, ok := groups[r]; !ok {
-			order = append(order, r)
-		}
-		groups[r] = append(groups[r], i)
-	}
-	out := make([][]int, 0, len(order)+len(empties))
-	for _, r := range order {
-		out = append(out, groups[r])
-	}
-	// Empty clauses are independent of everything; each forms its own
-	// component (the compiler short-circuits "true" before reaching here,
-	// but Components stays total).
-	for _, i := range empties {
-		out = append(out, []int{i})
-	}
-	return out
 }
 
 // Select returns the sub-DNF of d with the given clause indices.

@@ -1,0 +1,168 @@
+package formula
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PreparedFrag is the result of d-tree leaf preparation for one lineage
+// fragment: the normalized, subsumption-reduced DNF together with its
+// heuristic probability bounds (the Figure 3 independent-partition
+// heuristic) and the work the preparation cost. It is the prepared-
+// statement analogue for fragments: the d-tree compiler prepares every
+// leaf it constructs, join lineage repeats identical subformulas across
+// answers and across Shannon siblings, and a FragCache lets each
+// distinct fragment be prepared once.
+//
+// The component partition of D (the independent-or ⊗ split the compiler
+// needs when the leaf is later refined) is recorded lazily the first
+// time a decomposition computes it, via SetComponents.
+//
+// PreparedFrag values are shared between goroutines once published by a
+// FragCache; all fields are read-only after Store, and the lazy
+// component partition is accessed through an atomic pointer. Callers
+// must treat D and the partition as immutable.
+type PreparedFrag struct {
+	// D is the prepared form: normalized (duplicate clauses removed)
+	// and, unless the preparing evaluation disabled it, subsumption-
+	// reduced.
+	D DNF
+	// Lo and Hi bound P(D): Lo ≤ P(D) ≤ Hi, with Lo == Hi when the
+	// preparation obtained the exact probability (single clause, the
+	// inclusion-exclusion shortcut, or a single independent bucket).
+	Lo, Hi float64
+	// Exact reports Lo == Hi.
+	Exact bool
+	// Work is the number of clause-processing operations preparation
+	// charged against the evaluation's work budget. Cache hits charge
+	// the same amount, so budget traces are identical whether a
+	// fragment is prepared or replayed.
+	Work int64
+
+	comps atomic.Pointer[[][]int]
+}
+
+// Components returns the recorded component partition of D, if any
+// decomposition has computed it yet.
+func (f *PreparedFrag) Components() ([][]int, bool) {
+	p := f.comps.Load()
+	if p == nil {
+		return nil, false
+	}
+	return *p, true
+}
+
+// SetComponents records the component partition of D. Concurrent
+// setters race benignly: the partition is a deterministic function of
+// D, so every caller stores an equal value and last-write-wins keeps
+// the entry consistent.
+func (f *PreparedFrag) SetComponents(comps [][]int) {
+	f.comps.Store(&comps)
+}
+
+// FragCache is a concurrent memo table from raw lineage fragments to
+// their prepared forms — normalization, subsumption removal, heuristic
+// [lo, hi] bounds and (lazily) the component partition, the whole
+// per-leaf preparation pipeline of the d-tree compiler. It is keyed by
+// the fragment as the compiler encounters it (pre-preparation), so
+// identical subformulas reached across the answers of a query or across
+// Shannon siblings of one compilation prepare once; like ProbCache it
+// is shared by handing it to every evaluation over the same Space and
+// must not be reused with a different Space (entries embed that space's
+// probabilities in their bounds).
+//
+// Preparation also depends on two ablation switches (subsumption
+// removal and bucket sorting), so lookups carry a variant byte; entries
+// prepared under one variant are invisible to another, which keeps a
+// shared cache correct even when evaluations with different ablation
+// settings share it.
+//
+// Entries are never evicted; once MaxEntries is reached new fragments
+// are prepared but not stored, bounding memory while keeping every hit
+// already earned. All methods are safe for concurrent use.
+type FragCache struct {
+	mu      sync.RWMutex
+	buckets map[uint64][]*fragCacheEntry
+	n       int
+	max     int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type fragCacheEntry struct {
+	key     DNF // the fragment as presented for preparation
+	variant uint8
+	frag    *PreparedFrag
+}
+
+// DefaultFragCacheEntries bounds a cache built with NewFragCache(0).
+const DefaultFragCacheEntries = 1 << 19
+
+// NewFragCache returns an empty cache holding at most maxEntries
+// prepared fragments (maxEntries <= 0 means DefaultFragCacheEntries).
+func NewFragCache(maxEntries int) *FragCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultFragCacheEntries
+	}
+	return &FragCache{buckets: make(map[uint64][]*fragCacheEntry), max: maxEntries}
+}
+
+func fragKeyHash(d DNF, variant uint8) uint64 {
+	// Mix the variant into the bucket hash so ablation variants of the
+	// same fragment never collide structurally.
+	return d.Hash() ^ (uint64(variant) * 0x9e3779b97f4a7c15)
+}
+
+// Lookup returns the prepared form of d under the given variant, if
+// present. The returned PreparedFrag is shared and must be treated as
+// immutable (SetComponents excepted).
+func (c *FragCache) Lookup(d DNF, variant uint8) (*PreparedFrag, bool) {
+	h := fragKeyHash(d, variant)
+	c.mu.RLock()
+	for _, e := range c.buckets[h] {
+		if e.variant == variant && e.key.Equal(d) {
+			c.mu.RUnlock()
+			c.hits.Add(1)
+			return e.frag, true
+		}
+	}
+	c.mu.RUnlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Store memoizes the prepared form of d under the given variant and
+// returns the canonical entry: the stored frag, or the pre-existing one
+// when another goroutine prepared the same fragment concurrently
+// (preparation is deterministic, so both prepared equal values).
+// When the cache is full the frag is returned unstored.
+func (c *FragCache) Store(d DNF, variant uint8, f *PreparedFrag) *PreparedFrag {
+	h := fragKeyHash(d, variant)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.buckets[h] {
+		if e.variant == variant && e.key.Equal(d) {
+			return e.frag
+		}
+	}
+	if c.n >= c.max {
+		return f
+	}
+	c.buckets[h] = append(c.buckets[h], &fragCacheEntry{key: d, variant: variant, frag: f})
+	c.n++
+	return f
+}
+
+// Len returns the number of memoized fragments.
+func (c *FragCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// Stats returns the cumulative hit and miss counts across all users of
+// the cache.
+func (c *FragCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,123 @@
+package formula
+
+import (
+	"sync"
+	"testing"
+)
+
+func fragTestDNF(seed int) DNF {
+	var d DNF
+	for j := 0; j < 6; j++ {
+		c := MustClause(
+			Atom{Var: Var(seed + j), Val: True},
+			Atom{Var: Var(seed + j + 3), Val: True},
+		)
+		d = append(d, c)
+	}
+	return d
+}
+
+func TestFragCacheRoundTrip(t *testing.T) {
+	c := NewFragCache(0)
+	d := fragTestDNF(0)
+	if _, ok := c.Lookup(d, 0); ok {
+		t.Fatal("lookup hit on empty cache")
+	}
+	f := &PreparedFrag{D: d, Lo: 0.2, Hi: 0.5, Work: 17}
+	got := c.Store(d, 0, f)
+	if got != f {
+		t.Fatal("first store did not return the stored frag")
+	}
+	back, ok := c.Lookup(d, 0)
+	if !ok || back != f {
+		t.Fatalf("lookup after store: ok=%v frag=%p want %p", ok, back, f)
+	}
+	// An equal-but-distinct DNF value must hit the same entry.
+	clone := d.Clone()
+	back2, ok := c.Lookup(clone, 0)
+	if !ok || back2 != f {
+		t.Fatal("structural lookup by cloned key missed")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 2/1", hits, misses)
+	}
+}
+
+// Variants partition the key space: a fragment prepared under one
+// ablation setting must be invisible to another.
+func TestFragCacheVariants(t *testing.T) {
+	c := NewFragCache(0)
+	d := fragTestDNF(4)
+	c.Store(d, 0, &PreparedFrag{D: d, Lo: 0.1, Hi: 0.1, Exact: true})
+	if _, ok := c.Lookup(d, 1); ok {
+		t.Fatal("variant 1 lookup hit a variant 0 entry")
+	}
+	f1 := &PreparedFrag{D: d, Lo: 0.1, Hi: 0.4}
+	c.Store(d, 1, f1)
+	if got, ok := c.Lookup(d, 1); !ok || got != f1 {
+		t.Fatal("variant 1 entry not retrievable")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (one per variant)", c.Len())
+	}
+}
+
+// Concurrent stores of the same fragment converge on one canonical
+// entry; the loser's frag is discarded.
+func TestFragCacheConcurrentStoreCanonical(t *testing.T) {
+	c := NewFragCache(0)
+	d := fragTestDNF(9)
+	const goroutines = 8
+	got := make([]*PreparedFrag, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[g] = c.Store(d, 0, &PreparedFrag{D: d, Lo: 0.3, Hi: 0.6})
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if got[g] != got[0] {
+			t.Fatalf("goroutine %d got a different canonical entry", g)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestFragCacheCapacity(t *testing.T) {
+	c := NewFragCache(2)
+	for i := 0; i < 5; i++ {
+		d := fragTestDNF(10 * i)
+		c.Store(d, 0, &PreparedFrag{D: d})
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want capped at 2", c.Len())
+	}
+	// Overflowed stores still return the caller's frag, usable uncached.
+	d := fragTestDNF(1000)
+	f := &PreparedFrag{D: d}
+	if got := c.Store(d, 0, f); got != f {
+		t.Fatal("overflow store did not hand the frag back")
+	}
+}
+
+func TestPreparedFragComponentsLazy(t *testing.T) {
+	f := &PreparedFrag{D: fragTestDNF(2)}
+	if _, ok := f.Components(); ok {
+		t.Fatal("components reported before SetComponents")
+	}
+	comps := [][]int{{0, 1, 2, 3, 4, 5}}
+	f.SetComponents(comps)
+	got, ok := f.Components()
+	if !ok || len(got) != 1 || len(got[0]) != 6 {
+		t.Fatalf("components after set: ok=%v got=%v", ok, got)
+	}
+}

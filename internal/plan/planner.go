@@ -317,7 +317,8 @@ func rankOptionsFrom(ev engine.Evaluator) rank.Options {
 	case engine.Approx:
 		return rank.Options{
 			Eps: e.Eps, Kind: e.Kind, Order: e.Order,
-			Budget: e.Budget, Cache: e.Cache, Sequential: e.Sequential,
+			Budget: e.Budget, Cache: e.Cache, Frags: e.Frags,
+			Sequential: e.Sequential,
 		}
 	case engine.Exact:
 		return rank.Options{

@@ -74,6 +74,13 @@ type Options struct {
 	// across all answers of the run (and across runs over the same
 	// Space).
 	Cache *formula.ProbCache
+	// Frags, when non-nil, memoizes prepared leaf fragments across all
+	// answers of the run (and across runs over the same Space) — see
+	// core.Options.Frags. When nil, a run-private cache is created:
+	// answers of one query overlap heavily (shared lineage clauses and
+	// Shannon siblings), so within-run sharing alone removes most
+	// preparation work.
+	Frags *formula.FragCache
 	// Sequential disables parallel leaf preparation inside refiners.
 	Sequential bool
 	// Resolve refines every selected answer down to the Eps floor after
@@ -118,7 +125,7 @@ func (o Options) coreOptions() core.Options {
 	return core.Options{
 		Eps: o.Eps, Kind: o.Kind, Order: o.Order,
 		MaxNodes: o.Budget.MaxNodes, MaxWork: o.Budget.MaxWork,
-		Cache: o.Cache, Sequential: o.Sequential,
+		Cache: o.Cache, Frags: o.Frags, Sequential: o.Sequential,
 	}
 }
 
@@ -201,6 +208,12 @@ func newSched(ctx context.Context, s *formula.Space, dnfs []formula.DNF, opt Opt
 		status: make([]status, len(dnfs)),
 	}
 	co := opt.coreOptions()
+	if co.Frags == nil {
+		// Run-private fragment cache: the answers of one query share
+		// lineage fragments, so even without a caller-provided cache
+		// each repeated fragment prepares once per run.
+		co.Frags = formula.NewFragCache(0)
+	}
 	for i, d := range dnfs {
 		sc.refs[i] = core.NewRefiner(ctx, s, d, co)
 		lo, hi := sc.refs[i].Bounds()

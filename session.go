@@ -17,6 +17,7 @@ import (
 type Session struct {
 	db           *DB
 	cache        *formula.ProbCache
+	frags        *formula.FragCache
 	budget       engine.Budget
 	eps          float64
 	kind         engine.ErrorKind
@@ -61,6 +62,18 @@ func WithSharedCache(c *ProbCache) SessionOption {
 	return func(s *Session) { s.cache = c }
 }
 
+// WithSharedFragCache makes the session memoize *prepared* lineage
+// fragments (normalized form, heuristic bounds, component partition) in
+// the given cache instead of a fresh private one — the
+// prepared-statement analogue of WithSharedCache. Where the probability
+// cache pays off once a fragment has been computed exactly, the
+// fragment cache short-circuits leaf preparation itself, the dominant
+// cost of approximate and ranked evaluation. Share one across sessions
+// over the same DB only.
+func WithSharedFragCache(c *FragCache) SessionOption {
+	return func(s *Session) { s.frags = c }
+}
+
 // WithForceLineage disables the planner's structural routes (safe
 // plans, IQ sorted scans) for the session's queries, forcing lineage
 // materialization plus d-tree evaluation — the ablation/debugging knob,
@@ -80,6 +93,9 @@ func (db *DB) Session(opts ...SessionOption) *Session {
 	if s.cache == nil {
 		s.cache = formula.NewProbCache(0)
 	}
+	if s.frags == nil {
+		s.frags = formula.NewFragCache(0)
+	}
 	return s
 }
 
@@ -90,6 +106,10 @@ func (s *Session) DB() *DB { return s.db }
 // one, or the cache installed by WithSharedCache).
 func (s *Session) Cache() *ProbCache { return s.cache }
 
+// FragCache returns the session's prepared-fragment cache (the private
+// one, or the cache installed by WithSharedFragCache).
+func (s *Session) FragCache() *FragCache { return s.frags }
+
 // Evaluator returns the evaluator the session's queries hand lineage
 // to: the one installed by WithEvaluator, else the ε-approximation at
 // the WithEps floor, else exact d-tree compilation — the derived
@@ -99,7 +119,7 @@ func (s *Session) Evaluator() Evaluator {
 		return s.eval
 	}
 	if s.eps > 0 {
-		return engine.Approx{Eps: s.eps, Kind: s.kind, Budget: s.budget, Cache: s.cache}
+		return engine.Approx{Eps: s.eps, Kind: s.kind, Budget: s.budget, Cache: s.cache, Frags: s.frags}
 	}
 	return engine.Exact{Budget: s.budget, Cache: s.cache}
 }
