@@ -1,10 +1,15 @@
-// Command benchdiff compares two Go benchmark result files and fails
+// Command benchdiff compares Go benchmark result files and fails
 // when the new results regress past a threshold — the CI guard that
 // keeps the committed BENCH_*.json files honest.
 //
 //	benchdiff -old BENCH_rank.json -new fresh.json [-threshold 25]
+//	benchdiff -old BENCH_rank.json -old BENCH_planner.json -new fresh.json
 //
-// Both files may be `go test -json` streams (the committed format:
+// Both -old and -new repeat: each side is the union of its files'
+// rows (a name in several files on one side is averaged), so one
+// invocation can check a fresh run against every committed baseline.
+//
+// All files may be `go test -json` streams (the committed format:
 // benchmark text is reassembled from the Output events, which split
 // rows mid-line) or plain `go test -bench` text. Rows are matched by
 // benchmark name (GOMAXPROCS suffix stripped, same-name runs
@@ -41,34 +46,29 @@ var exactUnits = []string{"steps/op"}
 
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
+// fileList collects a repeatable path flag.
+type fileList []string
+
+func (f *fileList) String() string { return strings.Join(*f, ",") }
+
+func (f *fileList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
 func main() {
-	oldPath := flag.String("old", "", "baseline results (go test -json stream or -bench text)")
-	newPath := flag.String("new", "", "fresh results to compare against the baseline")
+	var oldPaths, newPaths fileList
+	flag.Var(&oldPaths, "old", "baseline results (go test -json stream or -bench text); repeatable")
+	flag.Var(&newPaths, "new", "fresh results to compare against the baselines; repeatable")
 	threshold := flag.Float64("threshold", 25, "allowed regression on time/alloc metrics, percent")
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
+	if len(oldPaths) == 0 || len(newPaths) == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	oldRows, err := parseFile(*oldPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *oldPath, err)
-		os.Exit(2)
-	}
-	newRows, err := parseFile(*newPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *newPath, err)
-		os.Exit(2)
-	}
-	if len(oldRows) == 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark rows in %s\n", *oldPath)
-		os.Exit(2)
-	}
-	if len(newRows) == 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark rows in %s\n", *newPath)
-		os.Exit(2)
-	}
+	oldRows := parseFiles(oldPaths)
+	newRows := parseFiles(newPaths)
 
 	var names []string
 	for name := range oldRows {
@@ -121,16 +121,39 @@ func main() {
 	fmt.Printf("benchdiff: %d benchmark(s) within threshold\n", len(names))
 }
 
-// parseFile reads benchmark rows from a go-test-json stream or plain
-// benchmark text, returning per-name metric averages.
-func parseFile(path string) (map[string]metrics, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	text := reassemble(string(raw))
+// parseFiles reads benchmark rows from every path on one side of the
+// diff and merges them, averaging same-name rows within and across
+// files. It exits when a file is unreadable or the side contributes no
+// rows at all.
+func parseFiles(paths fileList) map[string]metrics {
 	sums := map[string]metrics{}
 	counts := map[string]map[string]int{}
+	for _, path := range paths {
+		if err := parseInto(path, sums, counts); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+	}
+	if len(sums) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark rows in %s\n", paths.String())
+		os.Exit(2)
+	}
+	for name, m := range sums {
+		for unit := range m {
+			m[unit] /= float64(counts[name][unit])
+		}
+	}
+	return sums
+}
+
+// parseInto accumulates one file's benchmark rows — go-test-json
+// stream or plain benchmark text — into the running sums.
+func parseInto(path string, sums map[string]metrics, counts map[string]map[string]int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	text := reassemble(string(raw))
 	for _, line := range strings.Split(text, "\n") {
 		name, m, ok := parseBenchLine(line)
 		if !ok {
@@ -145,12 +168,7 @@ func parseFile(path string) (map[string]metrics, error) {
 			counts[name][unit]++
 		}
 	}
-	for name, m := range sums {
-		for unit := range m {
-			m[unit] /= float64(counts[name][unit])
-		}
-	}
-	return sums, nil
+	return nil
 }
 
 // reassemble concatenates the Output events of a `go test -json`

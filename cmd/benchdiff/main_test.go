@@ -19,10 +19,7 @@ func TestParseJSONStreamReassemblesSplitRows(t *testing.T) {
 	if err := os.WriteFile(path, []byte(jsonStream), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := parseFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	rows := parseFiles(fileList{path})
 	if len(rows) != 2 {
 		t.Fatalf("parsed %d rows, want 2: %v", len(rows), rows)
 	}
@@ -45,13 +42,33 @@ func TestParsePlainTextAndAveraging(t *testing.T) {
 	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := parseFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	rows := parseFiles(fileList{path})
 	m := rows["BenchmarkX"]
 	if m == nil || m["ns/op"] != 3000 || m["B/op"] != 64 || m["allocs/op"] != 3 {
 		t.Fatalf("averaged metrics = %v", m)
+	}
+}
+
+func TestParseFilesMergesBaselines(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.txt")
+	b := filepath.Join(dir, "b.txt")
+	if err := os.WriteFile(a, []byte("BenchmarkX-8 10 2000 ns/op\nBenchmarkOnlyA-8 10 10 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("BenchmarkX-8 10 4000 ns/op\nBenchmarkOnlyB-8 10 20 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseFiles(fileList{a, b})
+	if len(rows) != 3 {
+		t.Fatalf("merged %d rows, want 3: %v", len(rows), rows)
+	}
+	// A name in several baseline files averages across them.
+	if got := rows["BenchmarkX"]["ns/op"]; got != 3000 {
+		t.Fatalf("BenchmarkX ns/op = %v, want 3000", got)
+	}
+	if rows["BenchmarkOnlyA"]["ns/op"] != 10 || rows["BenchmarkOnlyB"]["ns/op"] != 20 {
+		t.Fatalf("per-file rows lost in merge: %v", rows)
 	}
 }
 

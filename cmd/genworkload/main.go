@@ -8,9 +8,13 @@
 //	genworkload -w clique-triangle -n 10 -p 0.3
 //	genworkload -w tpch-b21 -sf 0.001
 //	genworkload -w tpch-iq6 -sf 0.001
+//	genworkload -w skew-join -rows 20000 -skew 1.2
 //
 // Workloads: karate-triangle, karate-p2, karate-s2, dolphins-triangle,
-// clique-triangle, clique-p2, tpch-b1, tpch-b17, tpch-b21, tpch-iq6.
+// clique-triangle, clique-p2, tpch-b1, tpch-b17, tpch-b21, tpch-iq6,
+// skew-join (a Zipf-keyed fact ⋈ dim join whose hash partitions are
+// imbalanced — the sharded-lineage benchmark scenario; -skew 1 makes
+// the keys uniform for comparison).
 package main
 
 import (
@@ -29,6 +33,8 @@ func main() {
 	n := flag.Int("n", 10, "clique size for clique-* workloads")
 	p := flag.Float64("p", 0.3, "edge probability for clique-* workloads")
 	sf := flag.Float64("sf", 0.001, "scale factor for tpch-* workloads")
+	rows := flag.Int("rows", 20000, "fact rows for the skew-join workload")
+	skew := flag.Float64("skew", 1.2, "Zipf exponent for skew-join keys (≤1 = uniform)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	flag.Parse()
 
@@ -67,6 +73,9 @@ func main() {
 	case "tpch-iq6":
 		db := tpch.Generate(tpch.Config{SF: *sf, ProbHigh: 1, Seed: *seed})
 		s, d = db.Space, db.IQ6(20, 40, 40)
+	case "skew-join":
+		db := tpch.GenerateSkewed(*rows, max(*rows/50, 1), *skew, *seed)
+		s, d = db.Space, db.JoinDNF()
 	default:
 		fmt.Fprintf(os.Stderr, "genworkload: unknown workload %q\n", *workload)
 		os.Exit(1)

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/formula"
@@ -11,9 +12,9 @@ import (
 
 // DB is the long-lived root of the query façade: it owns a probability
 // space, the relations registered over it, the pool of hash-consing
-// clause interners the lineage pipelines draw from, and the sizing of
-// the process-wide worker pool that parallel d-tree exploration and
-// batch conf() fan out on.
+// clause interners the lineage pipelines draw from, and a private
+// worker pool that parallel d-tree exploration, batch conf(), and the
+// sharded lineage pipelines fan out on.
 //
 // A DB is safe for concurrent use. Short-lived state — the subformula
 // probability cache, the default budget and evaluator — lives one level
@@ -27,6 +28,7 @@ type DB struct {
 	mu    sync.RWMutex
 	rels  map[string]*pdb.Relation
 	names []string
+	pool  *workpool.Pool
 
 	inmu sync.Mutex
 	ins  []*formula.Interner
@@ -45,7 +47,11 @@ func NewDB(space *formula.Space, rels ...*pdb.Relation) *DB {
 	if space == nil {
 		panic("repro: NewDB requires a non-nil probability space")
 	}
-	db := &DB{space: space, rels: make(map[string]*pdb.Relation, len(rels))}
+	db := &DB{
+		space: space,
+		rels:  make(map[string]*pdb.Relation, len(rels)),
+		pool:  workpool.New(runtime.GOMAXPROCS(0)),
+	}
 	db.Register(rels...)
 	return db
 }
@@ -107,13 +113,24 @@ func (db *DB) known(r *pdb.Relation) bool {
 	return ok
 }
 
-// SetParallelism sizes the shared worker pool the DB's evaluations fan
-// out on (n < 1 means fully sequential). The pool is process-wide; the
-// DB is its owner in the façade lifecycle.
-func (db *DB) SetParallelism(n int) { workpool.Resize(n) }
+// Pool returns the DB's private worker pool — the one its sessions'
+// evaluations, batch conf() fan-outs, and sharded lineage pipelines run
+// on. Each DB owns its own pool (sized to GOMAXPROCS at creation), so
+// resizing one DB never affects another.
+func (db *DB) Pool() *workpool.Pool { return db.pool }
 
-// Parallelism returns the worker pool's configured parallelism.
-func (db *DB) Parallelism() int { return workpool.Parallelism() }
+// SetParallelism sizes the DB's worker pool (n < 1 means fully
+// sequential). Earlier versions resized the process-wide default pool,
+// silently changing every DB in the process; it now affects only this
+// DB.
+//
+// Deprecated: call Pool().Resize instead, which names the pool being
+// sized. SetParallelism remains as an alias with the corrected, per-DB
+// behavior.
+func (db *DB) SetParallelism(n int) { db.pool.Resize(n) }
+
+// Parallelism returns the DB's worker pool parallelism.
+func (db *DB) Parallelism() int { return db.pool.Parallelism() }
 
 // interner hands out a clause interner for one query pipeline, reusing
 // a pooled one when available. Interners are not concurrency-safe, so

@@ -21,8 +21,10 @@
 //	internal/engine   — the unified, cancellable Evaluator API over the
 //	                    whole algorithm menu (d-tree exact/approx, Monte
 //	                    Carlo, SPROUT plans) with structured budgets
-//	internal/workpool — the bounded worker pool shared by parallel
-//	                    d-tree exploration and batch conf() fan-out
+//	internal/workpool — bounded worker pools (one per DB, plus a
+//	                    process-wide default for the flat API) driving
+//	                    parallel d-tree exploration, batch conf()
+//	                    fan-out, and sharded lineage chains
 //	internal/mc       — Karp-Luby estimator, DKLR stopping rule (aconf)
 //	internal/pdb      — probabilistic relations, positive RA, and the
 //	                    parallel batch conf() operator
@@ -46,11 +48,14 @@
 // algorithm entry points:
 //
 //   - DB — the long-lived root: the probability space, the registered
-//     relations, the pool of hash-consing clause interners, and the
-//     sizing of the shared worker pool. NewDB(space, relations...).
+//     relations, the pool of hash-consing clause interners, and a
+//     private worker pool (db.Pool().Resize sizes it per DB; the old
+//     SetParallelism remains as a deprecated alias). NewDB(space,
+//     relations...).
 //   - Session — per-client scope: a subformula probability cache, a
-//     default Budget, a default Evaluator. db.Session(WithEps(1e-3),
-//     WithBudget(...), WithSharedCache(...), ...).
+//     default Budget, a default Evaluator, an optional forced lineage
+//     shard count. db.Session(WithEps(1e-3), WithBudget(...),
+//     WithSharedCache(...), WithShards(4), ...).
 //   - Query — the fluent builder compiled to the plan IR with
 //     build-time validation: sess.Query("R").Select(...).Join(...).
 //     GroupLineage(...).TopK(10). Run(ctx) streams the answers as an

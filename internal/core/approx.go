@@ -73,6 +73,12 @@ type Options struct {
 	// debugging.
 	Sequential bool
 
+	// Pool is the worker pool parallel exploration fans out on; nil
+	// means the shared workpool.Default. Callers that own a pool (the
+	// façade DB) thread it here so sizing one pool never affects
+	// evaluations running on another.
+	Pool *workpool.Pool
+
 	// Ablation switches (all false in the paper's configuration).
 	DisableClosing     bool // never close leaves (Section V-D off)
 	DisableSubsumption bool // skip subsumed-clause removal (Fig. 1 step 1 off)
@@ -252,7 +258,7 @@ func newState(ctx context.Context, s *formula.Space, opt Options) *state {
 	}
 	return &state{
 		s: s, opt: opt, ctx: ctx,
-		pooled:  workpool.Parallelism() > 1,
+		pooled:  opt.Pool.Parallelism() > 1,
 		variant: prepVariant(opt),
 	}
 }

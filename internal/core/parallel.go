@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/formula"
-	"repro/internal/workpool"
 )
 
 // parMinClauses is the fan-out threshold: independent children are
@@ -50,7 +49,7 @@ func (st *state) exactChildren(subs []formula.DNF) ([]float64, error) {
 	for i := range subs {
 		tasks[i] = func() { ps[i], errs[i] = st.exactRec(subs[i]) }
 	}
-	workpool.Run(tasks...)
+	st.opt.Pool.Run(tasks...)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -77,6 +76,6 @@ func (st *state) prepareAll(subs []formula.DNF, normalized, reduced bool) []frag
 	for i := range subs {
 		tasks[i] = func() { frags[i] = st.prepareAs(subs[i], normalized, reduced) }
 	}
-	workpool.Run(tasks...)
+	st.opt.Pool.Run(tasks...)
 	return frags
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/formula"
 	"repro/internal/mc"
+	"repro/internal/workpool"
 )
 
 // Re-exported core types, so engine users configure evaluators without
@@ -145,6 +146,9 @@ type Exact struct {
 	Cache *formula.ProbCache
 	// Sequential disables parallel branch exploration.
 	Sequential bool
+	// Pool is the worker pool parallel exploration fans out on; nil
+	// means the shared workpool.Default.
+	Pool *workpool.Pool
 }
 
 // Evaluate implements Evaluator.
@@ -154,7 +158,7 @@ func (e Exact) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (R
 	res, err := core.ExactCtx(ctx, s, d, core.Options{
 		Order:    e.Order,
 		MaxNodes: e.Budget.MaxNodes, MaxWork: e.Budget.MaxWork,
-		Cache: e.Cache, Sequential: e.Sequential,
+		Cache: e.Cache, Sequential: e.Sequential, Pool: e.Pool,
 	})
 	return fromCore(res), err
 }
@@ -180,6 +184,9 @@ type Approx struct {
 	Frags *formula.FragCache
 	// Sequential disables parallel exploration.
 	Sequential bool
+	// Pool is the worker pool parallel exploration fans out on; nil
+	// means the shared workpool.Default.
+	Pool *workpool.Pool
 	// Global selects the materialized largest-interval-first variant.
 	Global bool
 }
@@ -191,7 +198,7 @@ func (e Approx) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (
 	opt := core.Options{
 		Eps: e.Eps, Kind: e.Kind, Order: e.Order,
 		MaxNodes: e.Budget.MaxNodes, MaxWork: e.Budget.MaxWork,
-		Cache: e.Cache, Frags: e.Frags, Sequential: e.Sequential,
+		Cache: e.Cache, Frags: e.Frags, Sequential: e.Sequential, Pool: e.Pool,
 	}
 	var res core.Result
 	var err error

@@ -60,6 +60,20 @@ func (in *Interner) MergeInterned(a, b Clause) (Clause, bool) {
 	return merged, true
 }
 
+// InternDNF re-interns every clause of d into this interner, in place:
+// each clause is replaced by its canonical instance, with the incoming
+// backing array adopted when the clause is new. The sharded lineage
+// merge uses this to migrate clauses built by partition-local interners
+// into the session's interner, so hash-consing invariants (structurally
+// equal clauses share one backing array) and downstream cache keys are
+// the same as on the unsharded pipeline.
+func (in *Interner) InternDNF(d DNF) DNF {
+	for i, c := range d {
+		d[i] = in.Intern(c)
+	}
+	return d
+}
+
 // Stats reports canonical-instance reuses and stored clauses.
 func (in *Interner) Stats() (hits, stored int64) { return in.hits, in.inserts }
 

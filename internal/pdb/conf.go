@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/formula"
@@ -32,26 +33,50 @@ type AnswerConf struct {
 // the context's error. The returned slice always has one entry per
 // answer, in answer order.
 func Conf(ctx context.Context, s *formula.Space, answers []Answer, ev engine.Evaluator) ([]AnswerConf, error) {
+	return ConfWith(ctx, s, answers, ev, nil, nil)
+}
+
+// ConfWith is Conf fanning out on a caller-owned worker pool (nil means
+// the shared workpool.Default) with optional partition affinity: when
+// owner is non-nil it assigns each answer to the lineage partition that
+// produced it (see plan's sharded executor), and the fan-out runs one
+// task per partition instead of one per answer — the answers a
+// partition built share interned clause backing arrays, so evaluating
+// them on one goroutine keeps that working set hot. Results are
+// identical either way; owner only shapes the scheduling.
+func ConfWith(ctx context.Context, s *formula.Space, answers []Answer, ev engine.Evaluator, pool *workpool.Pool, owner []int) ([]AnswerConf, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	out := make([]AnswerConf, len(answers))
-	tasks := make([]func(), len(answers))
-	for i := range answers {
-		tasks[i] = func() {
-			a := answers[i]
-			out[i].Vals = a.Vals
-			if err := ctx.Err(); err != nil {
-				out[i].Err = err
-				return
-			}
-			res, err := ev.Evaluate(ctx, s, a.Lin)
-			out[i].P = res.Estimate
-			out[i].Res = res
+	one := func(i int) {
+		a := answers[i]
+		out[i].Vals = a.Vals
+		if err := ctx.Err(); err != nil {
 			out[i].Err = err
+			return
+		}
+		res, err := ev.Evaluate(ctx, s, a.Lin)
+		out[i].P = res.Estimate
+		out[i].Res = res
+		out[i].Err = err
+	}
+	var tasks []func()
+	if len(owner) == len(answers) && len(answers) > 0 {
+		for _, chunk := range ownerChunks(owner) {
+			tasks = append(tasks, func() {
+				for _, i := range chunk {
+					one(i)
+				}
+			})
+		}
+	} else {
+		tasks = make([]func(), len(answers))
+		for i := range answers {
+			tasks[i] = func() { one(i) }
 		}
 	}
-	workpool.Run(tasks...)
+	pool.Run(tasks...)
 	// Aggregate per-answer failures, collapsing context errors into one
 	// entry: on cancellation every answer carries the same error, and
 	// joining thousands of identical lines helps nobody.
@@ -67,4 +92,25 @@ func Conf(ctx context.Context, s *formula.Space, answers []Answer, ev engine.Eva
 		errs = append(errs, ctxErr)
 	}
 	return out, errors.Join(errs...)
+}
+
+// ownerChunks groups answer indices by owning partition, largest chunk
+// first so the pool starts the longest-running task earliest. Within a
+// chunk, indices keep answer order.
+func ownerChunks(owner []int) [][]int {
+	byOwner := make(map[int][]int)
+	for i, o := range owner {
+		byOwner[o] = append(byOwner[o], i)
+	}
+	chunks := make([][]int, 0, len(byOwner))
+	for _, c := range byOwner {
+		chunks = append(chunks, c)
+	}
+	sort.Slice(chunks, func(a, b int) bool {
+		if len(chunks[a]) != len(chunks[b]) {
+			return len(chunks[a]) > len(chunks[b])
+		}
+		return chunks[a][0] < chunks[b][0]
+	})
+	return chunks
 }

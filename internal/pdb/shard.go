@@ -1,0 +1,66 @@
+package pdb
+
+// Shard is a partition view of a relation: the subset of tuples whose
+// original ordinals are listed in Ords, in ascending order. Views share
+// the base relation's storage — partitioning copies no tuples — and
+// keeping original ordinals lets the sharded lineage executor merge
+// per-partition outputs back into exactly the order the unsharded
+// pipeline would have produced.
+type Shard struct {
+	Rel  *Relation
+	Ords []int
+}
+
+// Len returns the number of tuples in the shard.
+func (s Shard) Len() int { return len(s.Ords) }
+
+// Tuple returns the shard's i-th tuple (0 ≤ i < Len) along with its
+// ordinal in the base relation.
+func (s Shard) Tuple(i int) (Tuple, int) {
+	ord := s.Ords[i]
+	return s.Rel.Tups[ord], ord
+}
+
+// Shards partitions the relation into n views. With keyCol ≥ 0 tuples
+// are hash-partitioned on that column, so equal join keys land in the
+// same partition; with keyCol < 0 they are dealt round-robin. n < 1 is
+// treated as 1 (the identity view). Partitioning is deterministic: the
+// same relation, n, and keyCol always yield the same views.
+func (r *Relation) Shards(n, keyCol int) []Shard {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]Shard, n)
+	for i := range out {
+		out[i].Rel = r
+	}
+	if n == 1 {
+		ords := make([]int, len(r.Tups))
+		for i := range ords {
+			ords[i] = i
+		}
+		out[0].Ords = ords
+		return out
+	}
+	for i := range r.Tups {
+		p := i % n
+		if keyCol >= 0 {
+			p = int(HashValue(r.Tups[i].Vals[keyCol]) % uint64(n))
+		}
+		out[p].Ords = append(out[p].Ords, i)
+	}
+	return out
+}
+
+// HashValue is the deterministic value hash Shards partitions with — a
+// 64-bit finalizer-style mix, so consecutive keys spread instead of
+// landing in consecutive partitions.
+func HashValue(v Value) uint64 {
+	x := uint64(v)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,83 @@
+package pdb
+
+import (
+	"testing"
+
+	"repro/internal/formula"
+)
+
+func shardTestRelation(rows int) *Relation {
+	s := formula.NewSpace()
+	vals := make([][]Value, rows)
+	probs := make([]float64, rows)
+	for i := range vals {
+		vals[i] = []Value{Value(i % 13), Value(i)}
+		probs[i] = 0.5
+	}
+	return NewTupleIndependent(s, "R", []string{"k", "v"}, vals, probs, 0)
+}
+
+// TestRelationShardsPartition pins the view invariants the sharded
+// executor depends on: the views cover every ordinal exactly once, each
+// view's ordinals ascend, hash partitioning groups equal keys, and the
+// partitioning is deterministic.
+func TestRelationShardsPartition(t *testing.T) {
+	r := shardTestRelation(100)
+	for _, keyCol := range []int{-1, 0} {
+		for _, n := range []int{1, 2, 3, 8} {
+			views := r.Shards(n, keyCol)
+			if len(views) != n {
+				t.Fatalf("Shards(%d, %d): %d views", n, keyCol, len(views))
+			}
+			seen := make([]bool, r.Len())
+			for p, v := range views {
+				if v.Rel != r {
+					t.Fatalf("view %d does not reference the base relation", p)
+				}
+				last := -1
+				for i := 0; i < v.Len(); i++ {
+					tup, ord := v.Tuple(i)
+					if ord <= last {
+						t.Fatalf("Shards(%d, %d) view %d: ordinals not ascending (%d after %d)", n, keyCol, p, ord, last)
+					}
+					last = ord
+					if seen[ord] {
+						t.Fatalf("ordinal %d in two views", ord)
+					}
+					seen[ord] = true
+					if keyCol >= 0 {
+						if want := int(HashValue(tup.Vals[keyCol]) % uint64(n)); want != p && n > 1 {
+							t.Fatalf("tuple with key %d landed in view %d, want %d", tup.Vals[keyCol], p, want)
+						}
+					}
+				}
+			}
+			for ord, ok := range seen {
+				if !ok {
+					t.Fatalf("Shards(%d, %d): ordinal %d in no view", n, keyCol, ord)
+				}
+			}
+			again := r.Shards(n, keyCol)
+			for p := range views {
+				if len(again[p].Ords) != len(views[p].Ords) {
+					t.Fatalf("Shards(%d, %d) not deterministic", n, keyCol)
+				}
+			}
+		}
+	}
+	// Hash partitioning co-locates equal keys: same-key tuples of any
+	// two relations sharing a column domain land in the same partition
+	// index — the co-partitioning contract the executor's build sides
+	// rely on.
+	views := r.Shards(4, 0)
+	part := make(map[Value]int)
+	for p, v := range views {
+		for i := 0; i < v.Len(); i++ {
+			tup, _ := v.Tuple(i)
+			if prev, ok := part[tup.Vals[0]]; ok && prev != p {
+				t.Fatalf("key %d split across partitions %d and %d", tup.Vals[0], prev, p)
+			}
+			part[tup.Vals[0]] = p
+		}
+	}
+}

@@ -198,6 +198,12 @@ func newThetaJoinCursor(t *ThetaJoin, in *formula.Interner) cursor {
 		}
 		right = append(right, rt)
 	}
+	return &thetaJoinCursor{left: newCursor(t.Left, in), right: right, pred: thetaPred(t), in: in}
+}
+
+// thetaPred composes a ThetaJoin's condition: the structured Less (and
+// any residual predicate), or the opaque Pred alone.
+func thetaPred(t *ThetaJoin) func(left, right []pdb.Value) bool {
 	pred := t.Pred
 	if t.Less != nil {
 		less := *t.Less
@@ -212,7 +218,7 @@ func newThetaJoinCursor(t *ThetaJoin, in *formula.Interner) cursor {
 	if pred == nil {
 		panic("plan: ThetaJoin without Less or Pred")
 	}
-	return &thetaJoinCursor{left: newCursor(t.Left, in), right: right, pred: pred, in: in}
+	return pred
 }
 
 func (c *thetaJoinCursor) next() (pdb.Tuple, bool) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/formula"
 	"repro/internal/pdb"
 	"repro/internal/rank"
+	"repro/internal/workpool"
 )
 
 // Route identifies which execution path the planner chose.
@@ -45,6 +46,16 @@ type Options struct {
 	// forced lineage path).
 	DisableSafe bool
 	DisableIQ   bool
+	// Shards overrides the lineage pipeline's partition count: 0 lets
+	// the planner choose from the driver cardinality and the pool's
+	// parallelism, 1 forces the unsharded pipeline, n > 1 forces
+	// exactly n partitions (benchmarks use it to measure scaling on a
+	// fixed fan-out).
+	Shards int
+	// Pool is the worker pool the plan's parallel work — sharded
+	// lineage chains and the batch conf() fan-out — runs on; nil means
+	// the shared workpool.Default. The façade passes its DB's pool.
+	Pool *workpool.Pool
 }
 
 // rankSpec is a ranking root (TopK/Threshold) stripped off the plan:
@@ -73,8 +84,15 @@ type Plan struct {
 	// Why explains the decision (or why the structural routes were
 	// rejected), for traces and EXPLAIN-style output.
 	Why string
+	// Shards is the partition count the lineage pipeline runs with
+	// (1 = unsharded); the planner's choice, or the Options override.
+	Shards int
 
 	rank *rankSpec
+	// shard is the partitioning decision behind Shards > 1; pool is the
+	// worker pool the partition chains and conf fan-out run on.
+	shard *shardSpec
+	pool  *workpool.Pool
 	// nestedRank records (at compile time) that a ranking node survived
 	// below the root — the plan is unexecutable and Answers errors.
 	nestedRank bool
@@ -104,6 +122,7 @@ func CompileWith(root Node, opt Options) *Plan {
 	p := compileRouted(root, opt)
 	p.rank = spec
 	p.nestedRank = root != nil && containsRank(root)
+	p.planShards(root, opt)
 	if spec != nil {
 		p.Why = spec.describe() + " over " + p.Why
 	}
@@ -169,9 +188,25 @@ func (p *Plan) Explain() string {
 }
 
 // Lineage evaluates the plan's root through the pipelined runtime,
-// regardless of route — the answers with their lineage DNFs.
+// regardless of route — the answers with their lineage DNFs. A plan
+// compiled to Shards > 1 runs the partition-parallel pipeline; the
+// answers are identical either way.
 func (p *Plan) Lineage() []pdb.Answer {
-	return Lineage(p.Root)
+	if p.Root == nil {
+		return nil
+	}
+	ans, _ := p.lineage(nil)
+	return ans
+}
+
+// lineage materializes the plan's answer lineage: the sharded pipeline
+// when the planner chose one, else the unsharded reference. The second
+// result is the per-answer owning partition (nil when unsharded).
+func (p *Plan) lineage(in *formula.Interner) ([]pdb.Answer, []int) {
+	if p.shard != nil {
+		return shardedLineage(p.Root, p.shard, in, p.pool)
+	}
+	return LineageWith(p.Root, in), nil
 }
 
 // Answers computes the confidence of every answer along the chosen
@@ -230,9 +265,9 @@ func (p *Plan) AnswersWith(ctx context.Context, s *formula.Space, ev engine.Eval
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		answers := LineageWith(p.Root, in)
+		answers, owner := p.lineage(in)
 		if p.rank != nil {
-			opt := rankOptionsFrom(ev)
+			opt := p.rankOptions(ev)
 			if p.rank.topk {
 				confs, _, err := pdb.ConfTopK(ctx, s, answers, p.rank.k, opt)
 				return confs, err
@@ -243,8 +278,18 @@ func (p *Plan) AnswersWith(ctx context.Context, s *formula.Space, ev engine.Eval
 		if ev == nil {
 			ev = engine.Exact{}
 		}
-		return pdb.Conf(ctx, s, answers, ev)
+		return pdb.ConfWith(ctx, s, answers, ev, p.pool, owner)
 	}
+}
+
+// rankOptions derives the scheduler configuration from the evaluator,
+// defaulting the worker pool to the plan's own.
+func (p *Plan) rankOptions(ev engine.Evaluator) rank.Options {
+	opt := rankOptionsFrom(ev)
+	if opt.Pool == nil {
+		opt.Pool = p.pool
+	}
+	return opt
 }
 
 // validate rejects malformed ranking plans; the failure is identical on
@@ -318,11 +363,12 @@ func rankOptionsFrom(ev engine.Evaluator) rank.Options {
 		return rank.Options{
 			Eps: e.Eps, Kind: e.Kind, Order: e.Order,
 			Budget: e.Budget, Cache: e.Cache, Frags: e.Frags,
-			Sequential: e.Sequential,
+			Sequential: e.Sequential, Pool: e.Pool,
 		}
 	case engine.Exact:
 		return rank.Options{
-			Order: e.Order, Budget: e.Budget, Cache: e.Cache, Sequential: e.Sequential,
+			Order: e.Order, Budget: e.Budget, Cache: e.Cache,
+			Sequential: e.Sequential, Pool: e.Pool,
 		}
 	case engine.MonteCarlo:
 		return rank.Options{Budget: e.Budget}

@@ -62,8 +62,8 @@ func (p *Plan) StreamWith(ctx context.Context, s *formula.Space, ev engine.Evalu
 			yield(pdb.AnswerConf{}, err)
 			return
 		}
-		answers := LineageWith(p.Root, in)
-		opt := rankOptionsFrom(ev)
+		answers, _ := p.lineage(in)
+		opt := p.rankOptions(ev)
 		sctx, cancel := context.WithCancel(ctx)
 		defer cancel()
 		// The scheduler calls the hook synchronously mid-loop; when the

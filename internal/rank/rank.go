@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/formula"
+	"repro/internal/workpool"
 )
 
 // Options configures a ranking run. The zero value refines every
@@ -83,6 +84,9 @@ type Options struct {
 	Frags *formula.FragCache
 	// Sequential disables parallel leaf preparation inside refiners.
 	Sequential bool
+	// Pool is the worker pool refiners' parallel leaf preparation fans
+	// out on; nil means the shared workpool.Default.
+	Pool *workpool.Pool
 	// Resolve refines every selected answer down to the Eps floor after
 	// membership is decided, so reported confidences carry the full
 	// guarantee ("-resolve" mode). Off, selected answers keep whatever
@@ -125,7 +129,7 @@ func (o Options) coreOptions() core.Options {
 	return core.Options{
 		Eps: o.Eps, Kind: o.Kind, Order: o.Order,
 		MaxNodes: o.Budget.MaxNodes, MaxWork: o.Budget.MaxWork,
-		Cache: o.Cache, Frags: o.Frags, Sequential: o.Sequential,
+		Cache: o.Cache, Frags: o.Frags, Sequential: o.Sequential, Pool: o.Pool,
 	}
 }
 

@@ -1,14 +1,20 @@
-// Package workpool provides the process-wide bounded worker pool shared
-// by the parallel d-tree exploration in internal/core and the batch
-// conf() fan-out in internal/pdb.
+// Package workpool provides bounded worker pools shared by the parallel
+// d-tree exploration in internal/core, the batch conf() fan-out in
+// internal/pdb, and the partition-parallel lineage pipelines in
+// internal/plan.
 //
-// The pool is a token semaphore, not a set of long-lived workers: Run
+// A Pool is a token semaphore, not a set of long-lived workers: Run
 // hands tasks to fresh goroutines only while tokens are available and
 // executes the rest on the calling goroutine. Saturation therefore
 // degrades to sequential execution instead of queueing, and nested Run
 // calls (the d-tree recursion parallelizes at every independent node)
 // can never deadlock: a task that finds the pool exhausted simply runs
 // its children inline.
+//
+// Most callers thread an explicit *Pool (each façade DB owns one, so
+// sizing one DB never affects another); a nil *Pool means the shared
+// Default pool, which the package-level Resize/Parallelism/Run
+// functions operate on directly.
 package workpool
 
 import (
@@ -16,12 +22,33 @@ import (
 	"sync"
 )
 
-var (
+// Pool is one bounded worker pool. The zero value is not ready; use New.
+// A nil *Pool is valid everywhere and means the Default pool.
+type Pool struct {
 	mu  sync.Mutex
 	sem chan struct{}
-)
+}
 
-func init() { Resize(runtime.GOMAXPROCS(0)) }
+// New returns a pool with parallelism n (n < 1 is treated as 1, fully
+// sequential).
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{sem: make(chan struct{}, n-1)}
+}
+
+// Default is the process-wide pool used when callers pass a nil *Pool
+// (and by the package-level Resize/Parallelism/Run).
+var Default = New(runtime.GOMAXPROCS(0))
+
+// or resolves a nil receiver to the Default pool.
+func (p *Pool) or() *Pool {
+	if p == nil {
+		return Default
+	}
+	return p
+}
 
 // Resize sets the pool's parallelism to n: Run may offload tasks to at
 // most n−1 helper goroutines, so a single evaluation runs on at most n
@@ -31,33 +58,36 @@ func init() { Resize(runtime.GOMAXPROCS(0)) }
 // 1 (fully sequential). Tokens already held by running tasks drain
 // against the old semaphore, so Resize is safe to call while
 // evaluations are in flight.
-func Resize(n int) {
+func (p *Pool) Resize(n int) {
+	p = p.or()
 	if n < 1 {
 		n = 1
 	}
-	mu.Lock()
-	sem = make(chan struct{}, n-1)
-	mu.Unlock()
+	p.mu.Lock()
+	p.sem = make(chan struct{}, n-1)
+	p.mu.Unlock()
 }
 
-// Parallelism returns the configured total parallelism.
-func Parallelism() int {
-	mu.Lock()
-	defer mu.Unlock()
-	return cap(sem) + 1
+// Parallelism returns the pool's configured total parallelism.
+func (p *Pool) Parallelism() int {
+	p = p.or()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return cap(p.sem) + 1
 }
 
 // Run executes every task and returns when all have finished. Tasks
 // beyond the first are offloaded to new goroutines while pool tokens are
 // available; the remainder (always including the first task) run on the
 // calling goroutine.
-func Run(tasks ...func()) {
+func (p *Pool) Run(tasks ...func()) {
+	p = p.or()
 	if len(tasks) == 0 {
 		return
 	}
-	mu.Lock()
-	s := sem
-	mu.Unlock()
+	p.mu.Lock()
+	s := p.sem
+	p.mu.Unlock()
 	if cap(s) == 0 || len(tasks) == 1 {
 		for _, t := range tasks {
 			t()
@@ -81,3 +111,16 @@ func Run(tasks ...func()) {
 	tasks[0]()
 	wg.Wait()
 }
+
+// Resize sets the Default pool's parallelism.
+//
+// Deprecated: Resize affects every caller sharing the Default pool.
+// Components that want isolated sizing should own a Pool (the façade DB
+// does) and call its Resize method.
+func Resize(n int) { Default.Resize(n) }
+
+// Parallelism returns the Default pool's configured parallelism.
+func Parallelism() int { return Default.Parallelism() }
+
+// Run executes every task on the Default pool.
+func Run(tasks ...func()) { Default.Run(tasks...) }

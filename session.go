@@ -23,6 +23,7 @@ type Session struct {
 	kind         engine.ErrorKind
 	eval         engine.Evaluator
 	forceLineage bool
+	shards       int
 }
 
 // SessionOption configures a Session at creation.
@@ -83,6 +84,17 @@ func WithForceLineage() SessionOption {
 	return func(s *Session) { s.forceLineage = true }
 }
 
+// WithShards overrides the partition count of the lineage pipeline for
+// the session's queries: 1 forces the single-chain pipeline, n > 1
+// forces exactly n partition-parallel chains on the DB's worker pool.
+// Without the option the planner chooses — unsharded below a driver
+// cardinality floor, up to the pool's parallelism above it. Sharding
+// never changes results: answer values, order, and lineage DNFs are
+// identical to the unsharded pipeline's.
+func WithShards(n int) SessionOption {
+	return func(s *Session) { s.shards = n }
+}
+
 // Session opens a session on the DB. With no options: a fresh private
 // probability cache, no budget, exact evaluation.
 func (db *DB) Session(opts ...SessionOption) *Session {
@@ -119,12 +131,18 @@ func (s *Session) Evaluator() Evaluator {
 		return s.eval
 	}
 	if s.eps > 0 {
-		return engine.Approx{Eps: s.eps, Kind: s.kind, Budget: s.budget, Cache: s.cache, Frags: s.frags}
+		return engine.Approx{Eps: s.eps, Kind: s.kind, Budget: s.budget, Cache: s.cache, Frags: s.frags, Pool: s.db.pool}
 	}
-	return engine.Exact{Budget: s.budget, Cache: s.cache}
+	return engine.Exact{Budget: s.budget, Cache: s.cache, Pool: s.db.pool}
 }
 
-// planOptions translates the session knobs into planner options.
+// planOptions translates the session knobs into planner options; every
+// plan runs its parallel work on the DB's private pool.
 func (s *Session) planOptions() plan.Options {
-	return plan.Options{DisableSafe: s.forceLineage, DisableIQ: s.forceLineage}
+	return plan.Options{
+		DisableSafe: s.forceLineage,
+		DisableIQ:   s.forceLineage,
+		Shards:      s.shards,
+		Pool:        s.db.pool,
+	}
 }
