@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dtree [-eps 0.01] [-relative] [-exact] [-global] [-seq] [-stats]
-//	      [-timeout 0] [-max-nodes 0] [-mc] [file]
+//	      [-metrics] [-timeout 0] [-max-nodes 0] [-mc] [file]
 //
 // The input (a file argument or stdin) uses the dnftext format:
 //
@@ -17,6 +17,8 @@
 // ε-approximation with the chosen error semantics. -timeout cancels the
 // evaluation through its context; -max-nodes bounds the d-tree.
 // -mc additionally runs the Karp-Luby/DKLR baseline for comparison.
+// -metrics attaches an observability registry to the evaluation and
+// prints the worker-pool saturation and budget counters afterwards.
 package main
 
 import (
@@ -28,6 +30,8 @@ import (
 
 	"repro/internal/dnftext"
 	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/workpool"
 )
 
 func main() {
@@ -37,6 +41,7 @@ func main() {
 	global := flag.Bool("global", false, "use the global largest-interval-first strategy")
 	seq := flag.Bool("seq", false, "disable parallel exploration of independent branches")
 	stats := flag.Bool("stats", false, "print d-tree statistics")
+	metrics := flag.Bool("metrics", false, "print engine metrics (pool saturation, budget exhaustions)")
 	timeout := flag.Duration("timeout", 0, "wall-clock evaluation budget (0 = none)")
 	maxNodes := flag.Int("max-nodes", 0, "d-tree node budget (0 = unlimited)")
 	runMC := flag.Bool("mc", false, "also run the Karp-Luby/DKLR baseline (aconf)")
@@ -77,6 +82,14 @@ func main() {
 	if *exact {
 		ev.Eps = 0
 	}
+	var reg *obs.Metrics
+	if *metrics {
+		reg = obs.NewMetrics()
+		ev.Metrics = reg
+		pool := workpool.New(workpool.Parallelism())
+		pool.SetMetrics(reg)
+		ev.Pool = pool
+	}
 
 	ctx := context.Background()
 	start := time.Now()
@@ -98,6 +111,11 @@ func main() {
 	if *stats {
 		fmt.Printf("clauses=%d vars=%d nodes=%d leaves-closed=%d early-stop=%v\n",
 			len(d), len(d.Vars()), res.Nodes, res.LeavesClosed, res.EarlyStop)
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		fmt.Printf("metrics: pool spawned=%d inline=%d, budget exhausted=%d\n",
+			snap.PoolSpawned, snap.PoolInline, snap.BudgetExhausted)
 	}
 	if *runMC {
 		epsMC := ev.Eps

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-fig all|route,topk,6a,6b,6c,7,8,8c,9] [-sf 0.002] [-seed 42]
+//	experiments [-fig all|route,topk,6a,6b,6c,7,8,8c,9,stats,obs] [-sf 0.002] [-seed 42]
 //	            [-md] [-dtree-nodes N] [-aconf-samples N] [-parallel N]
 //
 // The "route" figure prints the planner's EXPLAIN over the TPC-H
@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figure ids: route,topk,6a,6b,6c,7,8,8c,9,stats or all")
+	fig := flag.String("fig", "all", "comma-separated figure ids: route,topk,6a,6b,6c,7,8,8c,9,stats,obs or all")
 	sf := flag.Float64("sf", 0, "TPC-H scale factor (default 0.002)")
 	seed := flag.Int64("seed", 0, "generator seed (default 42)")
 	md := flag.Bool("md", false, "emit markdown instead of plain text")
@@ -64,8 +64,9 @@ func main() {
 		"8c":    func() *exp.Table { return exp.Fig8c(p, nil) },
 		"9":     func() *exp.Table { return exp.Fig9(p, nil) },
 		"stats": func() *exp.Table { return exp.NodeStats(p) },
+		"obs":   func() *exp.Table { return exp.ObsTable(p) },
 	}
-	order := []string{"route", "topk", "6a", "6b", "6c", "7", "8", "8c", "9", "stats"}
+	order := []string{"route", "topk", "6a", "6b", "6c", "7", "8", "8c", "9", "stats", "obs"}
 
 	var want []string
 	if *fig == "all" {

@@ -1,11 +1,13 @@
 package repro
 
 import (
+	"expvar"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/formula"
+	"repro/internal/obs"
 	"repro/internal/pdb"
 	"repro/internal/workpool"
 )
@@ -24,11 +26,12 @@ import (
 //	sess := db.Session(repro.WithEps(1e-3))
 //	for a, err := range sess.Query("R").GroupLineage(0).TopK(10).Run(ctx) { ... }
 type DB struct {
-	space *formula.Space
-	mu    sync.RWMutex
-	rels  map[string]*pdb.Relation
-	names []string
-	pool  *workpool.Pool
+	space   *formula.Space
+	mu      sync.RWMutex
+	rels    map[string]*pdb.Relation
+	names   []string
+	pool    *workpool.Pool
+	metrics *obs.Metrics
 
 	inmu sync.Mutex
 	ins  []*formula.Interner
@@ -48,12 +51,34 @@ func NewDB(space *formula.Space, rels ...*pdb.Relation) *DB {
 		panic("repro: NewDB requires a non-nil probability space")
 	}
 	db := &DB{
-		space: space,
-		rels:  make(map[string]*pdb.Relation, len(rels)),
-		pool:  workpool.New(runtime.GOMAXPROCS(0)),
+		space:   space,
+		rels:    make(map[string]*pdb.Relation, len(rels)),
+		pool:    workpool.New(runtime.GOMAXPROCS(0)),
+		metrics: obs.NewMetrics(),
 	}
+	db.pool.SetMetrics(db.metrics)
 	db.Register(rels...)
 	return db
+}
+
+// Metrics returns the DB's engine-wide observability registry: route
+// counts, lineage volumes, refinement steps, cache traffic, pool
+// saturation, per-query latency histograms. Every session and query of
+// the DB records into it; read it with Snapshot, or open a per-window
+// delta with its View method (Session.Metrics does).
+func (db *DB) Metrics() *obs.Metrics { return db.metrics }
+
+// Snapshot freezes the DB's metrics registry into the flat,
+// JSON-marshalable export shape — the struct the serving layer scrapes
+// and PublishExpvar publishes.
+func (db *DB) Snapshot() obs.Snapshot { return db.metrics.Snapshot() }
+
+// PublishExpvar publishes the DB's metrics snapshot on the process's
+// expvar surface (GET /debug/vars) under the given name. Like
+// expvar.Publish, it panics if the name is already published — give
+// each DB its own name, and call it at most once per DB.
+func (db *DB) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return db.metrics.Snapshot() }))
 }
 
 // Register adds relations to the catalog. It panics on a nil relation,
@@ -153,7 +178,7 @@ func (db *DB) release(in *formula.Interner) {
 	if in == nil {
 		return
 	}
-	if _, stored := in.Stats(); stored > maxPooledClauses {
+	if in.CacheStats().Entries > maxPooledClauses {
 		return
 	}
 	db.inmu.Lock()

@@ -36,6 +36,11 @@
 //	                    threshold schedulers over resumable d-tree
 //	                    refiners (bound separation instead of full
 //	                    evaluation)
+//	internal/obs      — the observability layer: the per-DB metrics
+//	                    registry (counters, gauges, bounded histograms)
+//	                    every stage records into, and the per-query
+//	                    EXPLAIN ANALYZE trace (Prepared.Analyze,
+//	                    WithTrace)
 //	internal/sprout   — safe plans and IQ inequality scans
 //	internal/tpch     — probabilistic TPC-H generator and query suite
 //	internal/graphs   — random graphs and social networks
@@ -90,6 +95,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/formula"
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/rank"
 )
@@ -171,6 +177,32 @@ type (
 	TopKNode = plan.TopK
 	// ThresholdNode is the plan root keeping the answers with P ≥ Tau.
 	ThresholdNode = plan.Threshold
+)
+
+// Observability types: the per-DB metrics registry and the per-query
+// EXPLAIN ANALYZE trace (see DB.Metrics, Session.Metrics, WithTrace,
+// Prepared.Analyze).
+type (
+	// Metrics is the engine-wide registry of atomic counters, gauges and
+	// bounded histograms, one per DB, recorded into by every execution
+	// stage. All recording methods are nil-safe no-ops.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a frozen registry: the flat, JSON-marshalable
+	// export shape (DB.Snapshot, Session.Metrics, DB.PublishExpvar).
+	MetricsSnapshot = obs.Snapshot
+	// MetricsView is a delta window over a registry (Metrics.View).
+	MetricsView = obs.View
+	// QueryTrace is one query execution's EXPLAIN ANALYZE trace
+	// (Prepared.Analyze, WithTrace): routing, per-stage timings,
+	// per-partition chain stats, per-answer refinement outcomes, cache
+	// traffic. Text renders it deterministically; String with timings.
+	QueryTrace = obs.QueryTrace
+	// CacheStats is the unified cache-statistics shape every cache
+	// (ProbCache, FragCache, Interner) reports from its CacheStats
+	// method: Hits, Misses, Entries.
+	CacheStats = obs.CacheStats
+	// HistogramSnapshot is a frozen power-of-two histogram.
+	HistogramSnapshot = obs.HistogramSnapshot
 )
 
 // Anytime ranking types: step-wise refinement of probability bounds and

@@ -77,6 +77,22 @@ func main() {
 	fmt.Printf("most disputed customer: %d (P=%.4f)\n\n", top[0].Vals[0], top[0].P)
 
 	// ------------------------------------------------------------------
+	// 5. Observe: EXPLAIN ANALYZE re-runs a prepared query and returns
+	//    its trace — route, stage volumes, per-answer outcomes, caches.
+	// ------------------------------------------------------------------
+	pr, err := q.Build()
+	if err != nil {
+		panic(err)
+	}
+	tr, err := pr.Analyze(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(tr.String())
+	fmt.Printf("queries so far: %d (wall mean %.0fµs)\n\n",
+		db.Snapshot().Queries, db.Snapshot().QueryWallMicros.Mean())
+
+	// ------------------------------------------------------------------
 	// The paper-faithful direct surface (Example 5.2).
 	// ------------------------------------------------------------------
 	e := formula.NewSpace()

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/formula"
+	"repro/internal/obs"
 	"repro/internal/workpool"
 )
 
@@ -78,6 +79,12 @@ type Options struct {
 	// façade DB) thread it here so sizing one pool never affects
 	// evaluations running on another.
 	Pool *workpool.Pool
+
+	// Metrics, when non-nil, receives this evaluation's cache traffic,
+	// refinement steps and budget exhaustions. All recording is nil-safe
+	// atomic counting; nil (the default, and what the benchmarks run
+	// with) costs a single predictable branch per event.
+	Metrics *obs.Metrics
 
 	// Ablation switches (all false in the paper's configuration).
 	DisableClosing     bool // never close leaves (Section V-D off)
@@ -299,9 +306,11 @@ func (st *state) prepareAs(d formula.DNF, normalized, reduced bool) frag {
 	c := st.opt.Frags
 	if c != nil {
 		if e, ok := c.Lookup(d, st.variant); ok {
+			st.opt.Metrics.RecordFragCache(true)
 			st.work.Add(e.Work)
 			return frag{d: e.D, lo: e.Lo, hi: e.Hi, exact: e.Exact, entry: e}
 		}
+		st.opt.Metrics.RecordFragCache(false)
 	}
 	key := d
 	w := int64(len(key))
@@ -364,9 +373,11 @@ func (st *state) cachedProbErr(d formula.DNF, compute func() (float64, error)) (
 	}
 	if p, ok := c.Lookup(d); ok {
 		st.hits.Add(1)
+		st.opt.Metrics.RecordProbCache(true)
 		return p, nil
 	}
 	st.misses.Add(1)
+	st.opt.Metrics.RecordProbCache(false)
 	p, err := compute()
 	if err != nil {
 		return 0, err
@@ -382,6 +393,15 @@ func (st *state) cond(lo, hi float64) bool {
 func (st *state) overBudget() bool {
 	return (st.opt.MaxNodes > 0 && st.nodes.Load() >= int64(st.opt.MaxNodes)) ||
 		(st.opt.MaxWork > 0 && st.work.Load() >= int64(st.opt.MaxWork))
+}
+
+// hitBudget marks the evaluation budget-exhausted; the CAS counts each
+// evaluation's exhaustion once in the metrics registry no matter how
+// many branches observe it.
+func (st *state) hitBudget() {
+	if st.budgetHit.CompareAndSwap(false, true) {
+		st.opt.Metrics.RecordBudgetExhausted()
+	}
 }
 
 func (st *state) finish(lo, hi float64) Result {
@@ -430,7 +450,7 @@ func (st *state) explore(f frag, cx bctx) (lo, hi float64) {
 	}
 	if st.overBudget() {
 		st.done = true
-		st.budgetHit.Store(true)
+		st.hitBudget()
 		st.doneLo, st.doneHi = gLo, gHi
 		return f.lo, f.hi
 	}
@@ -688,7 +708,7 @@ func (st *state) exactRec(d formula.DNF) (float64, error) {
 	}
 	st.work.Add(int64(len(d)))
 	if st.overBudget() {
-		st.budgetHit.Store(true)
+		st.hitBudget()
 		return 0, ErrBudget
 	}
 	d = d.Normalize()

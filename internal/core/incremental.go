@@ -64,15 +64,21 @@ func (n *gNode) recompute() {
 // propagate recomputes cached bounds up the dirty path from n to the
 // root, stopping as soon as a node's interval is unchanged: its
 // ancestors' inputs are then unchanged too, so their cached values
-// already equal what a full recompute would produce.
-func propagate(n *gNode) {
+// already equal what a full recompute would produce. It returns the
+// number of nodes recomputed — the dirty path's length — which the
+// observability layer histograms to profile how far refinements
+// actually reach.
+func propagate(n *gNode) int {
+	visited := 0
 	for ; n != nil; n = n.parent {
 		oldLo, oldHi := n.lo, n.hi
 		n.recompute()
+		visited++
 		if n.lo == oldLo && n.hi == oldHi {
-			return
+			break
 		}
 	}
+	return visited
 }
 
 // leafHeap orders the open (inexact) leaves widest bounds interval
@@ -136,12 +142,13 @@ func (r *Refiner) popWidest() *gNode {
 
 // attach wires a just-refined leaf's children into the incremental
 // structures — open children join the heap — and propagates the
-// leaf's new combined interval up the dirty path.
-func (r *Refiner) attach(leaf *gNode) {
+// leaf's new combined interval up the dirty path, returning that
+// path's length.
+func (r *Refiner) attach(leaf *gNode) int {
 	for _, c := range leaf.children {
 		if !c.frag.exact {
 			heap.Push(&r.open, c)
 		}
 	}
-	propagate(leaf)
+	return propagate(leaf)
 }

@@ -111,9 +111,11 @@ func (r *Refiner) Step(budget int) (lo, hi float64, done bool) {
 		r.steps++
 		if r.ref {
 			r.absorb(r.root.boundsWith(&r.scratch, 0))
+			r.st.opt.Metrics.RecordRefineStep(0)
 		} else {
-			r.attach(leaf)
+			pathLen := r.attach(leaf)
 			r.absorb(r.root.lo, r.root.hi)
+			r.st.opt.Metrics.RecordRefineStep(pathLen)
 		}
 	}
 	return r.lo, r.hi, r.done
@@ -182,7 +184,7 @@ func (r *Refiner) fail(err error) {
 	}
 	r.err = err
 	if err == ErrBudget {
-		r.st.budgetHit.Store(true)
+		r.st.hitBudget()
 	} else {
 		r.st.cancelErr = err
 	}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/formula"
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/workpool"
 )
 
@@ -149,6 +150,9 @@ type Exact struct {
 	// Pool is the worker pool parallel exploration fans out on; nil
 	// means the shared workpool.Default.
 	Pool *workpool.Pool
+	// Metrics, when non-nil, receives the evaluation's cache traffic
+	// and budget exhaustions (nil-safe, see obs.Metrics).
+	Metrics *obs.Metrics
 }
 
 // Evaluate implements Evaluator.
@@ -159,6 +163,7 @@ func (e Exact) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (R
 		Order:    e.Order,
 		MaxNodes: e.Budget.MaxNodes, MaxWork: e.Budget.MaxWork,
 		Cache: e.Cache, Sequential: e.Sequential, Pool: e.Pool,
+		Metrics: e.Metrics,
 	})
 	return fromCore(res), err
 }
@@ -187,6 +192,9 @@ type Approx struct {
 	// Pool is the worker pool parallel exploration fans out on; nil
 	// means the shared workpool.Default.
 	Pool *workpool.Pool
+	// Metrics, when non-nil, receives the evaluation's cache traffic
+	// and budget exhaustions (nil-safe, see obs.Metrics).
+	Metrics *obs.Metrics
 	// Global selects the materialized largest-interval-first variant.
 	Global bool
 }
@@ -199,6 +207,7 @@ func (e Approx) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (
 		Eps: e.Eps, Kind: e.Kind, Order: e.Order,
 		MaxNodes: e.Budget.MaxNodes, MaxWork: e.Budget.MaxWork,
 		Cache: e.Cache, Frags: e.Frags, Sequential: e.Sequential, Pool: e.Pool,
+		Metrics: e.Metrics,
 	}
 	var res core.Result
 	var err error

@@ -3,6 +3,8 @@ package formula
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // PreparedFrag is the result of d-tree leaf preparation for one lineage
@@ -161,8 +163,23 @@ func (c *FragCache) Len() int {
 	return c.n
 }
 
+// CacheStats returns the cumulative hit/miss traffic across all users
+// of the cache plus its current entry count, in the engine-wide
+// unified shape.
+func (c *FragCache) CacheStats() obs.CacheStats {
+	return obs.CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: int64(c.Len()),
+	}
+}
+
 // Stats returns the cumulative hit and miss counts across all users of
 // the cache.
+//
+// Deprecated: use CacheStats, which reports the unified
+// obs.CacheStats shape instead of a positional tuple.
 func (c *FragCache) Stats() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
+	s := c.CacheStats()
+	return s.Hits, s.Misses
 }

@@ -1,5 +1,7 @@
 package formula
 
+import "repro/internal/obs"
+
 // Interner hash-conses clauses: structurally equal clauses returned from
 // Intern or MergeInterned share one canonical backing array. The
 // pipelined query runtime routes every join-time clause merge through an
@@ -74,7 +76,19 @@ func (in *Interner) InternDNF(d DNF) DNF {
 	return d
 }
 
+// CacheStats reports the interner's traffic in the engine-wide unified
+// shape: Hits counts canonical-instance reuses; every first-seen
+// clause is both a miss and a stored entry (the interner is unbounded
+// and never evicts, so Misses == Entries). Like the rest of the
+// Interner, it is not safe for concurrent use.
+func (in *Interner) CacheStats() obs.CacheStats {
+	return obs.CacheStats{Hits: in.hits, Misses: in.inserts, Entries: in.inserts}
+}
+
 // Stats reports canonical-instance reuses and stored clauses.
+//
+// Deprecated: use CacheStats, which reports the unified
+// obs.CacheStats shape instead of a positional tuple.
 func (in *Interner) Stats() (hits, stored int64) { return in.hits, in.inserts }
 
 // mergeHash computes the hash and length the merge of a and b would

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	rtrace "runtime/trace"
 	"sort"
 
 	"repro/internal/engine"
@@ -65,6 +66,7 @@ func ConfWith(ctx context.Context, s *formula.Space, answers []Answer, ev engine
 	if len(owner) == len(answers) && len(answers) > 0 {
 		for _, chunk := range ownerChunks(owner) {
 			tasks = append(tasks, func() {
+				defer rtrace.StartRegion(ctx, "repro.conf-batch").End()
 				for _, i := range chunk {
 					one(i)
 				}

@@ -39,8 +39,24 @@ func Lineage(root Node) []pdb.Answer {
 // concurrent use, so callers must hand each concurrent pipeline its
 // own (the façade DB keeps a pool).
 func LineageWith(root Node, in *formula.Interner) []pdb.Answer {
+	ans, _ := lineageWithStats(root, in)
+	return ans
+}
+
+// lineageStats reports one lineage materialization's output volumes:
+// distinct answer groups, clauses across the normalized answer DNFs,
+// and tuples drained from the pipeline into the sink.
+type lineageStats struct {
+	answers int64
+	clauses int64
+	tuples  int64
+}
+
+// lineageWithStats is LineageWith additionally reporting the
+// pipeline's volumes for the observability layer.
+func lineageWithStats(root Node, in *formula.Interner) ([]pdb.Answer, lineageStats) {
 	if root == nil {
-		return nil
+		return nil, lineageStats{}
 	}
 	g, ok := root.(*GroupLineage)
 	if !ok {
@@ -50,10 +66,20 @@ func LineageWith(root Node, in *formula.Interner) []pdb.Answer {
 		in = formula.NewInterner()
 	}
 	cur := newCursor(g.Input, in)
+	var (
+		ans    []pdb.Answer
+		tuples int64
+	)
 	if len(g.Cols) == 0 {
-		return booleanSink(cur)
+		ans, tuples = booleanSink(cur)
+	} else {
+		ans, tuples = groupSink(cur, g.Cols)
 	}
-	return groupSink(cur, g.Cols)
+	st := lineageStats{answers: int64(len(ans)), tuples: tuples}
+	for _, a := range ans {
+		st.clauses += int64(len(a.Lin))
+	}
+	return ans, st
 }
 
 // newCursor builds the cursor tree for n.
@@ -262,7 +288,8 @@ func joinTuple(lt, rt pdb.Tuple, in *formula.Interner) (pdb.Tuple, bool) {
 
 // booleanSink drains the stream into the Boolean answer: the lineage of
 // "some tuple exists". No tuples means no answer (certainly false).
-func booleanSink(cur cursor) []pdb.Answer {
+// The second result counts the tuples drained.
+func booleanSink(cur cursor) ([]pdb.Answer, int64) {
 	var d formula.DNF
 	for {
 		t, ok := cur.next()
@@ -272,22 +299,25 @@ func booleanSink(cur cursor) []pdb.Answer {
 		d = append(d, t.Lin)
 	}
 	if len(d) == 0 {
-		return nil
+		return nil, 0
 	}
-	return []pdb.Answer{{Lin: d.Normalize()}}
+	return []pdb.Answer{{Lin: d.Normalize()}}, int64(len(d))
 }
 
 // groupSink drains the stream grouping by the projected values,
-// mirroring pdb.GroupProject (including its sorted output order).
-func groupSink(cur cursor, cols []int) []pdb.Answer {
+// mirroring pdb.GroupProject (including its sorted output order). The
+// second result counts the tuples drained.
+func groupSink(cur cursor, cols []int) ([]pdb.Answer, int64) {
 	groups := make(map[string]*pdb.Answer)
 	var order []string
 	var keyBuf strings.Builder
+	var tuples int64
 	for {
 		t, ok := cur.next()
 		if !ok {
 			break
 		}
+		tuples++
 		keyBuf.Reset()
 		vals := make([]pdb.Value, len(cols))
 		for i, c := range cols {
@@ -310,6 +340,6 @@ func groupSink(cur cursor, cols []int) []pdb.Answer {
 		a.Lin = a.Lin.Normalize()
 		out = append(out, *a)
 	}
-	return out
+	return out, tuples
 }
 

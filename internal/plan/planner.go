@@ -3,10 +3,15 @@ package plan
 import (
 	"context"
 	"fmt"
+	rtrace "runtime/trace"
 	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/formula"
+	"repro/internal/obs"
 	"repro/internal/pdb"
 	"repro/internal/rank"
 	"repro/internal/workpool"
@@ -56,6 +61,10 @@ type Options struct {
 	// lineage chains and the batch conf() fan-out — runs on; nil means
 	// the shared workpool.Default. The façade passes its DB's pool.
 	Pool *workpool.Pool
+	// Metrics, when non-nil, receives every execution's route, lineage
+	// volumes and stage events, and is the default registry for the
+	// ranking scheduler when the evaluator carries none. Nil-safe.
+	Metrics *obs.Metrics
 }
 
 // rankSpec is a ranking root (TopK/Threshold) stripped off the plan:
@@ -90,9 +99,11 @@ type Plan struct {
 
 	rank *rankSpec
 	// shard is the partitioning decision behind Shards > 1; pool is the
-	// worker pool the partition chains and conf fan-out run on.
-	shard *shardSpec
-	pool  *workpool.Pool
+	// worker pool the partition chains and conf fan-out run on;
+	// metrics is the registry every execution records into (nil = none).
+	shard   *shardSpec
+	pool    *workpool.Pool
+	metrics *obs.Metrics
 	// nestedRank records (at compile time) that a ranking node survived
 	// below the root — the plan is unexecutable and Answers errors.
 	nestedRank bool
@@ -131,7 +142,7 @@ func CompileWith(root Node, opt Options) *Plan {
 
 // compileRouted routes a rank-free query.
 func compileRouted(root Node, opt Options) *Plan {
-	p := &Plan{Root: root, Route: RouteLineage}
+	p := &Plan{Root: root, Route: RouteLineage, metrics: opt.Metrics}
 	if root == nil {
 		p.Why = "empty query"
 		return p
@@ -195,18 +206,35 @@ func (p *Plan) Lineage() []pdb.Answer {
 	if p.Root == nil {
 		return nil
 	}
-	ans, _ := p.lineage(nil)
+	ans, _ := p.lineage(context.Background(), nil, nil)
 	return ans
 }
 
 // lineage materializes the plan's answer lineage: the sharded pipeline
 // when the planner chose one, else the unsharded reference. The second
-// result is the per-answer owning partition (nil when unsharded).
-func (p *Plan) lineage(in *formula.Interner) ([]pdb.Answer, []int) {
-	if p.shard != nil {
-		return shardedLineage(p.Root, p.shard, in, p.pool)
+// result is the per-answer owning partition (nil when unsharded). The
+// materialization's volumes are recorded on the plan's metrics and, on
+// traced runs, on tr as the "lineage" stage.
+func (p *Plan) lineage(ctx context.Context, in *formula.Interner, tr *obs.QueryTrace) ([]pdb.Answer, []int) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return LineageWith(p.Root, in), nil
+	defer rtrace.StartRegion(ctx, "repro.lineage").End()
+	start := time.Now()
+	var (
+		answers []pdb.Answer
+		owner   []int
+		st      lineageStats
+	)
+	if p.shard != nil {
+		answers, owner, st = shardedLineage(ctx, p.Root, p.shard, in, p.pool, tr)
+	} else {
+		answers, st = lineageWithStats(p.Root, in)
+	}
+	p.metrics.RecordLineage(st.answers, st.clauses, st.tuples)
+	tr.SetLineage(st.answers, st.clauses, st.tuples)
+	tr.AddStage("lineage", st.answers, time.Since(start))
+	return answers, owner
 }
 
 // Answers computes the confidence of every answer along the chosen
@@ -229,32 +257,51 @@ func (p *Plan) Answers(ctx context.Context, s *formula.Space, ev engine.Evaluato
 // caller-owned clause interner (nil allocates a fresh one; see
 // LineageWith).
 func (p *Plan) AnswersWith(ctx context.Context, s *formula.Space, ev engine.Evaluator, in *formula.Interner) ([]pdb.AnswerConf, error) {
+	return p.AnswersTraced(ctx, s, ev, in, nil)
+}
+
+// AnswersTraced is AnswersWith additionally populating tr — the
+// per-query EXPLAIN ANALYZE trace — with the routing decision, stage
+// timings and per-answer outcomes. A nil tr records nothing and
+// executes identically (every trace method is a nil-safe no-op); the
+// answers are bitwise identical either way.
+func (p *Plan) AnswersTraced(ctx context.Context, s *formula.Space, ev engine.Evaluator, in *formula.Interner, tr *obs.QueryTrace) ([]pdb.AnswerConf, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	tr.SetPlan(p.Explain(), p.Route.String(), p.Shards)
+	p.metrics.RecordRoute(p.Route.String(), p.Shards)
 	switch p.Route {
 	case RouteSafe:
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		start := time.Now()
 		rows := p.safe.answers(s)
 		out := make([]pdb.AnswerConf, 0, len(rows))
 		for _, r := range rows {
 			out = append(out, exactAnswer(r.vals, r.p))
 		}
-		return p.rankExact(out), nil
+		out = p.rankExact(out)
+		tr.AddStage("safe", int64(len(out)), time.Since(start))
+		addAnswerTraces(tr, out)
+		return out, nil
 	case RouteIQ:
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		start := time.Now()
 		levels := p.iq.weighted(s)
-		if !p.iq.hasAnswer(levels) {
-			return nil, nil
+		var out []pdb.AnswerConf
+		if p.iq.hasAnswer(levels) {
+			out = p.rankExact([]pdb.AnswerConf{exactAnswer(nil, p.iq.confidence(levels))})
 		}
-		return p.rankExact([]pdb.AnswerConf{exactAnswer(nil, p.iq.confidence(levels))}), nil
+		tr.AddStage("iq", int64(len(out)), time.Since(start))
+		addAnswerTraces(tr, out)
+		return out, nil
 	default:
 		if p.Root == nil {
 			return nil, nil
@@ -265,31 +312,114 @@ func (p *Plan) AnswersWith(ctx context.Context, s *formula.Space, ev engine.Eval
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		answers, owner := p.lineage(in)
+		answers, owner := p.lineage(ctx, in, tr)
 		if p.rank != nil {
 			opt := p.rankOptions(ev)
+			start := time.Now()
+			region := rtrace.StartRegion(ctx, "repro.rank")
+			var (
+				confs []pdb.AnswerConf
+				res   rank.Result
+				err   error
+			)
 			if p.rank.topk {
-				confs, _, err := pdb.ConfTopK(ctx, s, answers, p.rank.k, opt)
-				return confs, err
+				confs, res, err = pdb.ConfTopK(ctx, s, answers, p.rank.k, opt)
+			} else {
+				confs, res, err = pdb.ConfThreshold(ctx, s, answers, p.rank.tau, opt)
 			}
-			confs, _, err := pdb.ConfThreshold(ctx, s, answers, p.rank.tau, opt)
+			region.End()
+			p.recordRank(tr, answers, res, time.Since(start))
 			return confs, err
 		}
 		if ev == nil {
 			ev = engine.Exact{}
 		}
-		return pdb.ConfWith(ctx, s, answers, ev, p.pool, owner)
+		start := time.Now()
+		region := rtrace.StartRegion(ctx, "repro.conf")
+		confs, err := pdb.ConfWith(ctx, s, answers, ev, p.pool, owner)
+		region.End()
+		tr.AddStage("conf", int64(len(confs)), time.Since(start))
+		addAnswerTraces(tr, confs)
+		return confs, err
 	}
 }
 
 // rankOptions derives the scheduler configuration from the evaluator,
-// defaulting the worker pool to the plan's own.
+// defaulting the worker pool and metrics registry to the plan's own.
 func (p *Plan) rankOptions(ev engine.Evaluator) rank.Options {
 	opt := rankOptionsFrom(ev)
 	if opt.Pool == nil {
 		opt.Pool = p.pool
 	}
+	if opt.Metrics == nil {
+		opt.Metrics = p.metrics
+	}
 	return opt
+}
+
+// recordRank records a scheduler run on the trace: the "rank" stage,
+// the aggregate decide counts, and one answer trace per selected
+// answer (in rank order, with the per-answer refinement step count and
+// DecidedAtStep proof point).
+func (p *Plan) recordRank(tr *obs.QueryTrace, answers []pdb.Answer, res rank.Result, wall time.Duration) {
+	if tr == nil {
+		return
+	}
+	var in, out int64
+	for _, it := range res.Items {
+		if !it.Decided {
+			continue
+		}
+		if it.Selected {
+			in++
+		} else {
+			out++
+		}
+	}
+	kind, k, tau := "threshold", 0, p.rank.tau
+	if p.rank.topk {
+		kind, k, tau = "top-k", p.rank.k, 0
+	}
+	tr.AddStage("rank", int64(len(res.Ranking)), wall)
+	tr.SetRank(kind, k, tau, int64(res.Steps), in, out)
+	for _, idx := range res.Ranking {
+		it := res.Items[idx]
+		tr.AddAnswer(obs.AnswerTrace{
+			Vals: fmtVals(answers[idx].Vals),
+			P:    it.P, Lo: it.Lo, Hi: it.Hi,
+			Steps: it.Steps, DecidedAtStep: it.DecidedAtStep,
+			Member: it.Decided && it.Selected,
+		})
+	}
+}
+
+// addAnswerTraces records per-answer outcomes for exactly-computed
+// answers (structural routes and the unranked lineage route).
+func addAnswerTraces(tr *obs.QueryTrace, confs []pdb.AnswerConf) {
+	if tr == nil {
+		return
+	}
+	for _, c := range confs {
+		tr.AddAnswer(obs.AnswerTrace{Vals: fmtVals(c.Vals), P: c.P, Lo: c.Res.Lo, Hi: c.Res.Hi})
+	}
+}
+
+// fmtVals renders an answer tuple for traces: "(v1,v2)"; "()" is the
+// Boolean answer.
+func fmtVals(vals []pdb.Value) string {
+	if len(vals) == 0 {
+		return "()"
+	}
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(int64(v), 10))
+	}
+	b.WriteByte(')')
+	return b.String()
 }
 
 // validate rejects malformed ranking plans; the failure is identical on
@@ -363,12 +493,12 @@ func rankOptionsFrom(ev engine.Evaluator) rank.Options {
 		return rank.Options{
 			Eps: e.Eps, Kind: e.Kind, Order: e.Order,
 			Budget: e.Budget, Cache: e.Cache, Frags: e.Frags,
-			Sequential: e.Sequential, Pool: e.Pool,
+			Sequential: e.Sequential, Pool: e.Pool, Metrics: e.Metrics,
 		}
 	case engine.Exact:
 		return rank.Options{
 			Order: e.Order, Budget: e.Budget, Cache: e.Cache,
-			Sequential: e.Sequential, Pool: e.Pool,
+			Sequential: e.Sequential, Pool: e.Pool, Metrics: e.Metrics,
 		}
 	case engine.MonteCarlo:
 		return rank.Options{Budget: e.Budget}

@@ -1,11 +1,14 @@
 package plan
 
 import (
+	"context"
 	"fmt"
+	rtrace "runtime/trace"
 	"sort"
 	"strings"
 
 	"repro/internal/formula"
+	"repro/internal/obs"
 	"repro/internal/pdb"
 	"repro/internal/workpool"
 )
@@ -295,8 +298,14 @@ func (e *shardExec) build(n Node, base int) cursor {
 // values, order, and normalized DNFs bitwise identical to
 // LineageWith(root, in) — plus each answer's owning partition (the one
 // that produced its first clause), which the batch conf() fan-out uses
-// for partition-affinity scheduling.
-func shardedLineage(root Node, spec *shardSpec, in *formula.Interner, pool *workpool.Pool) ([]pdb.Answer, []int) {
+// for partition-affinity scheduling, and the run's volumes. A non-nil
+// tr receives per-partition chain stats; ctx scopes the runtime/trace
+// regions around the chains and the merge ("repro.shard-chain",
+// "repro.shard-merge") so `go tool trace` attributes the work.
+func shardedLineage(ctx context.Context, root Node, spec *shardSpec, in *formula.Interner, pool *workpool.Pool, tr *obs.QueryTrace) ([]pdb.Answer, []int, lineageStats) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g, ok := root.(*GroupLineage)
 	if !ok {
 		g = &GroupLineage{Input: root}
@@ -313,13 +322,30 @@ func shardedLineage(root Node, spec *shardSpec, in *formula.Interner, pool *work
 	tasks := make([]func(), spec.n)
 	for p := range tasks {
 		tasks[p] = func() {
+			defer rtrace.StartRegion(ctx, "repro.shard-chain").End()
 			ex := &shardExec{spec: spec, views: views, part: p, in: formula.NewInterner()}
 			cur := ex.build(g.Input, 0)
 			parts[p] = drainPartition(cur, ex.driver, g.Cols)
 		}
 	}
 	pool.Run(tasks...)
-	return mergeParts(parts, g.Cols, in)
+	var st lineageStats
+	for p := range parts {
+		var entries int64
+		for _, grp := range parts[p].groups {
+			entries += int64(len(grp.entries))
+		}
+		tr.AddPartition(p, int64(len(parts[p].groups)), entries)
+		st.tuples += entries
+	}
+	region := rtrace.StartRegion(ctx, "repro.shard-merge")
+	answers, owner := mergeParts(parts, g.Cols, in)
+	region.End()
+	st.answers = int64(len(answers))
+	for _, a := range answers {
+		st.clauses += int64(len(a.Lin))
+	}
+	return answers, owner, st
 }
 
 // collectShardViews walks the tree in structural DFS order building the

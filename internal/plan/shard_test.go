@@ -122,7 +122,7 @@ func TestShardedLineageProperty(t *testing.T) {
 			if p.Shards != n || p.shard == nil {
 				t.Fatalf("iter %d: forced shards=%d, plan has %d (%s)", iter, n, p.Shards, p.Why)
 			}
-			got, owner := p.lineage(nil)
+			got, owner := p.lineage(nil, nil, nil)
 			if len(got) != len(ref) {
 				t.Fatalf("iter %d shards=%d: %d answers, reference %d (%s)",
 					iter, n, len(got), len(ref), p.Why)
@@ -301,7 +301,7 @@ func TestShardKeyFallbacks(t *testing.T) {
 func assertLineageIdentical(t *testing.T, p *Plan, root Node) {
 	t.Helper()
 	ref := Lineage(root)
-	got, _ := p.lineage(nil)
+	got, _ := p.lineage(nil, nil, nil)
 	if len(got) != len(ref) {
 		t.Fatalf("%s: %d answers, reference %d", p.Why, len(got), len(ref))
 	}

@@ -3,9 +3,12 @@ package plan
 import (
 	"context"
 	"iter"
+	rtrace "runtime/trace"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/formula"
+	"repro/internal/obs"
 	"repro/internal/pdb"
 	"repro/internal/rank"
 )
@@ -35,9 +38,19 @@ func (p *Plan) Stream(ctx context.Context, s *formula.Space, ev engine.Evaluator
 // caller-owned clause interner (nil allocates a fresh one; see
 // LineageWith).
 func (p *Plan) StreamWith(ctx context.Context, s *formula.Space, ev engine.Evaluator, in *formula.Interner) iter.Seq2[pdb.AnswerConf, error] {
+	return p.StreamTraced(ctx, s, ev, in, nil)
+}
+
+// StreamTraced is StreamWith additionally populating tr — the
+// per-query EXPLAIN ANALYZE trace — with the routing decision, stage
+// timings and per-answer outcomes. A nil tr records nothing; the
+// yielded answers are bitwise identical either way. The trace's answer
+// section reflects the scheduler's final ranking even when the
+// consumer breaks out early.
+func (p *Plan) StreamTraced(ctx context.Context, s *formula.Space, ev engine.Evaluator, in *formula.Interner, tr *obs.QueryTrace) iter.Seq2[pdb.AnswerConf, error] {
 	return func(yield func(pdb.AnswerConf, error) bool) {
 		if p.rank == nil || p.Route != RouteLineage {
-			confs, err := p.AnswersWith(ctx, s, ev, in)
+			confs, err := p.AnswersTraced(ctx, s, ev, in, tr)
 			for _, c := range confs {
 				if !yield(c, nil) {
 					return
@@ -62,7 +75,9 @@ func (p *Plan) StreamWith(ctx context.Context, s *formula.Space, ev engine.Evalu
 			yield(pdb.AnswerConf{}, err)
 			return
 		}
-		answers, _ := p.lineage(in)
+		tr.SetPlan(p.Explain(), p.Route.String(), p.Shards)
+		p.metrics.RecordRoute(p.Route.String(), p.Shards)
+		answers, _ := p.lineage(ctx, in, tr)
 		opt := p.rankOptions(ev)
 		sctx, cancel := context.WithCancel(ctx)
 		defer cancel()
@@ -81,6 +96,8 @@ func (p *Plan) StreamWith(ctx context.Context, s *formula.Space, ev engine.Evalu
 				cancel()
 			}
 		}
+		start := time.Now()
+		region := rtrace.StartRegion(sctx, "repro.rank")
 		var res rank.Result
 		var err error
 		if p.rank.topk {
@@ -88,6 +105,8 @@ func (p *Plan) StreamWith(ctx context.Context, s *formula.Space, ev engine.Evalu
 		} else {
 			_, res, err = pdb.ConfThreshold(sctx, s, answers, p.rank.tau, opt)
 		}
+		region.End()
+		p.recordRank(tr, answers, res, time.Since(start))
 		if stopped {
 			return
 		}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/formula"
+	"repro/internal/obs"
 	"repro/internal/workpool"
 )
 
@@ -101,6 +102,10 @@ type Options struct {
 	// retained only for differential tests and benchmarks inside this
 	// package.
 	fullScan bool
+	// Metrics, when non-nil, receives the run's grants and decide
+	// events, and is threaded into every refiner (steps, cache traffic,
+	// budget exhaustions). Nil-safe; nil costs one branch per event.
+	Metrics *obs.Metrics
 	// OnDecided, when non-nil, is invoked synchronously from the
 	// scheduling loop the moment an answer's membership is *proven*
 	// (status decided-in: fewer than k answers can possibly rank above
@@ -130,6 +135,7 @@ func (o Options) coreOptions() core.Options {
 		Eps: o.Eps, Kind: o.Kind, Order: o.Order,
 		MaxNodes: o.Budget.MaxNodes, MaxWork: o.Budget.MaxWork,
 		Cache: o.Cache, Frags: o.Frags, Sequential: o.Sequential, Pool: o.Pool,
+		Metrics: o.Metrics,
 	}
 }
 
@@ -289,6 +295,7 @@ func (sc *sched) quantum() (int, bool) {
 // exhausting its per-answer budget simply stops refining (the answer
 // is later cut by estimate, like the Eps floor).
 func (sc *sched) grant(i, quantum int) error {
+	sc.opt.Metrics.RecordRankGrant()
 	before := sc.refs[i].Steps()
 	oldLo, oldHi := sc.items[i].Lo, sc.items[i].Hi
 	lo, hi, _ := sc.refs[i].Step(quantum)
@@ -546,6 +553,7 @@ func (sc *sched) decideTopKFull(k int) {
 // markIn records a proven membership and fires the streaming hook with
 // a snapshot of the answer at proof time.
 func (sc *sched) markIn(i int) {
+	sc.opt.Metrics.RecordRankDecided(true)
 	sc.status[i] = decidedIn
 	sc.ph.remove(i)
 	sc.items[i].DecidedAtStep = sc.steps
@@ -565,6 +573,7 @@ func (sc *sched) markIn(i int) {
 // markOut records a proven non-membership (never emitted: the stream
 // carries the selection only).
 func (sc *sched) markOut(i int) {
+	sc.opt.Metrics.RecordRankDecided(false)
 	sc.status[i] = decidedOut
 	sc.ph.remove(i)
 	sc.items[i].DecidedAtStep = sc.steps

@@ -20,6 +20,8 @@ package workpool
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Pool is one bounded worker pool. The zero value is not ready; use New.
@@ -27,6 +29,7 @@ import (
 type Pool struct {
 	mu  sync.Mutex
 	sem chan struct{}
+	met *obs.Metrics
 }
 
 // New returns a pool with parallelism n (n < 1 is treated as 1, fully
@@ -76,6 +79,16 @@ func (p *Pool) Parallelism() int {
 	return cap(p.sem) + 1
 }
 
+// SetMetrics attaches a metrics registry recording the pool's task
+// placement: offloaded vs inline tasks and offloaded tasks in flight
+// (the saturation/utilization signal). A nil registry detaches.
+func (p *Pool) SetMetrics(m *obs.Metrics) {
+	p = p.or()
+	p.mu.Lock()
+	p.met = m
+	p.mu.Unlock()
+}
+
 // Run executes every task and returns when all have finished. Tasks
 // beyond the first are offloaded to new goroutines while pool tokens are
 // available; the remainder (always including the first task) run on the
@@ -86,10 +99,11 @@ func (p *Pool) Run(tasks ...func()) {
 		return
 	}
 	p.mu.Lock()
-	s := p.sem
+	s, met := p.sem, p.met
 	p.mu.Unlock()
 	if cap(s) == 0 || len(tasks) == 1 {
 		for _, t := range tasks {
+			met.RecordPoolInline()
 			t()
 		}
 		return
@@ -98,16 +112,20 @@ func (p *Pool) Run(tasks ...func()) {
 	for _, t := range tasks[1:] {
 		select {
 		case s <- struct{}{}:
+			met.RecordPoolSpawn()
 			wg.Add(1)
 			go func(f func()) {
 				defer wg.Done()
 				defer func() { <-s }()
+				defer met.RecordPoolSpawnDone()
 				f()
 			}(t)
 		default:
+			met.RecordPoolInline()
 			t()
 		}
 	}
+	met.RecordPoolInline()
 	tasks[0]()
 	wg.Wait()
 }

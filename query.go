@@ -6,7 +6,11 @@ import (
 	"fmt"
 	"iter"
 	"math"
+	rtrace "runtime/trace"
+	"time"
 
+	"repro/internal/formula"
+	"repro/internal/obs"
 	"repro/internal/pdb"
 	"repro/internal/plan"
 )
@@ -404,6 +408,80 @@ func (pr *Prepared) Plan() *plan.Plan { return pr.p }
 // Explain returns the planner's one-line routing explanation.
 func (pr *Prepared) Explain() string { return pr.p.Explain() }
 
+// runObs is the per-execution observability bookkeeping every Prepared
+// entry point (Run, All, Analyze) shares: the borrowed interner with
+// its traffic baseline, the session-cache baselines for the trace's
+// deltas, the wall/first-answer clock, and the runtime/trace task that
+// scopes the execution's regions. begin opens it; finish records into
+// the DB registry, completes the trace, and returns the interner.
+type runObs struct {
+	pr      *Prepared
+	tr      *obs.QueryTrace
+	in      *formula.Interner
+	inBase  obs.CacheStats
+	probB   obs.CacheStats
+	fragB   obs.CacheStats
+	start   time.Time
+	first   time.Duration
+	endTask func()
+}
+
+func (pr *Prepared) begin(ctx context.Context, tr *obs.QueryTrace) (context.Context, *runObs) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := &runObs{pr: pr, tr: tr, in: pr.sess.db.interner()}
+	o.inBase = o.in.CacheStats()
+	o.probB = pr.sess.cache.CacheStats()
+	o.fragB = pr.sess.frags.CacheStats()
+	if rtrace.IsEnabled() {
+		var task *rtrace.Task
+		ctx, task = rtrace.NewTask(ctx, "repro.query")
+		o.endTask = task.End
+	}
+	o.start = time.Now()
+	return ctx, o
+}
+
+// answered marks the time to first answer, once.
+func (o *runObs) answered() {
+	if o.first == 0 {
+		o.first = time.Since(o.start)
+	}
+}
+
+func (o *runObs) finish(err error) {
+	wall := time.Since(o.start)
+	sess := o.pr.sess
+	inDelta := o.in.CacheStats().Sub(o.inBase)
+	sess.db.release(o.in)
+	met := sess.db.metrics
+	met.RecordInterner(inDelta.Hits, inDelta.Misses)
+	met.RecordQuery(wall, o.first)
+	o.tr.SetCaches(
+		sess.cache.CacheStats().Sub(o.probB),
+		sess.frags.CacheStats().Sub(o.fragB),
+		inDelta,
+	)
+	o.tr.Finish(wall, o.first, err)
+	if o.endTask != nil {
+		o.endTask()
+	}
+	if sess.trace != nil && o.tr != nil {
+		sess.trace(o.tr)
+	}
+}
+
+// traceSink returns the trace a run should populate: a fresh one when
+// the session installed a WithTrace sink, nil (all builders no-op)
+// otherwise.
+func (pr *Prepared) traceSink() *obs.QueryTrace {
+	if pr.sess.trace != nil {
+		return &obs.QueryTrace{}
+	}
+	return nil
+}
+
 // Run executes the query with the session's evaluator and streams the
 // answers. On a ranked lineage-route query the stream is anytime: each
 // answer is yielded the moment its membership is proven, before
@@ -414,14 +492,20 @@ func (pr *Prepared) Explain() string { return pr.p.Explain() }
 // error, or use Collect.
 func (pr *Prepared) Run(ctx context.Context) iter.Seq2[Answer, error] {
 	return func(yield func(Answer, error) bool) {
-		db := pr.sess.db
-		in := db.interner()
-		defer db.release(in)
-		for a, err := range pr.p.StreamWith(ctx, db.space, pr.sess.Evaluator(), in) {
+		tr := pr.traceSink()
+		ctx, o := pr.begin(ctx, tr)
+		var runErr error
+		for a, err := range pr.p.StreamTraced(ctx, pr.sess.db.space, pr.sess.Evaluator(), o.in, tr) {
+			if err != nil {
+				runErr = err
+			} else {
+				o.answered()
+			}
 			if !yield(a, err) {
-				return
+				break
 			}
 		}
+		o.finish(runErr)
 	}
 }
 
@@ -431,8 +515,31 @@ func (pr *Prepared) Run(ctx context.Context) iter.Seq2[Answer, error] {
 // stream instead delivers ranked answers in proof order; Collect(Run)
 // when arrival order is what matters.
 func (pr *Prepared) All(ctx context.Context) ([]Answer, error) {
-	db := pr.sess.db
-	in := db.interner()
-	defer db.release(in)
-	return pr.p.AnswersWith(ctx, db.space, pr.sess.Evaluator(), in)
+	return pr.all(ctx, pr.traceSink())
+}
+
+func (pr *Prepared) all(ctx context.Context, tr *obs.QueryTrace) ([]Answer, error) {
+	ctx, o := pr.begin(ctx, tr)
+	out, err := pr.p.AnswersTraced(ctx, pr.sess.db.space, pr.sess.Evaluator(), o.in, tr)
+	if len(out) > 0 {
+		o.answered()
+	}
+	o.finish(err)
+	return out, err
+}
+
+// Analyze executes the query to completion, discards the answers, and
+// returns the execution's EXPLAIN ANALYZE trace: the routing decision,
+// per-stage timings, lineage and per-partition volumes, the ranking
+// scheduler's outcome with per-answer refinement steps and decision
+// points, and the session caches' traffic during the run. Render it
+// with Text (deterministic, no timings) or String (timed); the struct
+// is the programmatic surface. The run is a real execution with the
+// session's evaluator — budgets, caches and metrics apply exactly as
+// in All. The returned trace is non-nil even on error, carrying
+// whatever was recorded before the failure.
+func (pr *Prepared) Analyze(ctx context.Context) (*QueryTrace, error) {
+	tr := &obs.QueryTrace{}
+	_, err := pr.all(ctx, tr)
+	return tr, err
 }

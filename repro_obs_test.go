@@ -1,0 +1,313 @@
+package repro_test
+
+import (
+	"context"
+	"expvar"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/pdb"
+	"repro/internal/plan"
+	"repro/internal/tpch"
+)
+
+// obsQ15 builds a façade DB over a deterministic TPC-H instance and
+// the ranked Q15 plan IR (top-3 suppliers by confidence), forced onto
+// the sharded lineage route — the acceptance workload of the
+// observability layer.
+func obsQ15(t testing.TB, shards int) (*repro.DB, *repro.Prepared) {
+	t.Helper()
+	gen := tpch.Generate(tpch.Config{SF: 0.002, ProbHigh: 1, Seed: 3})
+	db := repro.NewDB(gen.Space, gen.Supplier, gen.Lineitem)
+	db.Pool().Resize(1) // sequential: cache orders, hence traces, deterministic
+	sess := db.Session(repro.WithEps(1e-3), repro.WithForceLineage(), repro.WithShards(shards))
+	node := &plan.TopK{Input: gen.Q15IR(0, tpch.MaxDate/3), K: 3}
+	pr, err := sess.Query(node).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, pr
+}
+
+// TestObsAnalyzeQ15 is the acceptance check: EXPLAIN ANALYZE on the
+// ranked TPC-H Q15 reports the route, the shard fan-out, per-stage
+// volumes, per-partition chain stats, per-answer decision points, and
+// cache hit rates — all in one deterministic text tree.
+func TestObsAnalyzeQ15(t *testing.T) {
+	_, pr := obsQ15(t, 2)
+	tr, err := pr.Analyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Route != "d-tree" {
+		t.Fatalf("route %q, want d-tree (forced lineage)", tr.Route)
+	}
+	if tr.Shards != 2 {
+		t.Fatalf("shards %d, want 2", tr.Shards)
+	}
+	if len(tr.Partitions) != 2 {
+		t.Fatalf("%d partition stats, want 2", len(tr.Partitions))
+	}
+	if tr.Lineage == nil || tr.Lineage.Answers == 0 || tr.Lineage.Tuples == 0 {
+		t.Fatalf("lineage stats missing or empty: %+v", tr.Lineage)
+	}
+	if tr.Rank == nil || tr.Rank.Kind != "top-k" || tr.Rank.K != 3 {
+		t.Fatalf("rank stats %+v, want top-k k=3", tr.Rank)
+	}
+	if tr.Rank.Steps == 0 || tr.Rank.DecidedIn == 0 {
+		t.Fatalf("rank recorded no work: %+v", tr.Rank)
+	}
+	if tr.AnswersTotal == 0 || len(tr.Answers) == 0 {
+		t.Fatalf("no answer traces (total %d)", tr.AnswersTotal)
+	}
+	decided := 0
+	for _, a := range tr.Answers {
+		if a.DecidedAtStep > 0 {
+			decided++
+		}
+	}
+	if decided == 0 {
+		t.Fatal("no answer carries a DecidedAtStep")
+	}
+	if tr.Wall <= 0 {
+		t.Fatalf("wall %v, want positive", tr.Wall)
+	}
+	text := tr.Text()
+	for _, want := range []string{
+		"EXPLAIN ANALYZE route=d-tree shards=2",
+		"stage lineage:",
+		"partition 0:",
+		"partition 1:",
+		"stage rank:",
+		"top-k k=3",
+		"decided@",
+		"caches: prob ",
+		"| frag ",
+		"| intern ",
+		"total: answers=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("trace text missing %q:\n%s", want, text)
+		}
+	}
+	// The timed render carries the same tree plus wall figures.
+	if s := tr.String(); !strings.Contains(s, "wall=") {
+		t.Fatalf("String() carries no timings:\n%s", s)
+	}
+}
+
+// TestObsTraceDeterministic pins the determinism contract: the same
+// query on identically seeded databases, run sequentially (pool
+// parallelism 1), renders a byte-identical Text() tree — across
+// reruns, and from 8 concurrent goroutines each driving its own DB
+// (the -race half of the guarantee).
+func TestObsTraceDeterministic(t *testing.T) {
+	ref := func() string {
+		_, pr := obsQ15(t, 2)
+		tr, err := pr.Analyze(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Text()
+	}()
+
+	for i := 0; i < 2; i++ {
+		_, pr := obsQ15(t, 2)
+		tr, err := pr.Analyze(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Text(); got != ref {
+			t.Fatalf("rerun %d trace diverges:\n--- ref\n%s\n--- got\n%s", i, ref, got)
+		}
+	}
+
+	texts := make([]string, 8)
+	errs := make([]error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gen := tpch.Generate(tpch.Config{SF: 0.002, ProbHigh: 1, Seed: 3})
+			db := repro.NewDB(gen.Space, gen.Supplier, gen.Lineitem)
+			db.Pool().Resize(1)
+			sess := db.Session(repro.WithEps(1e-3), repro.WithForceLineage(), repro.WithShards(2))
+			node := &plan.TopK{Input: gen.Q15IR(0, tpch.MaxDate/3), K: 3}
+			pr, err := sess.Query(node).Build()
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			tr, err := pr.Analyze(context.Background())
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			texts[g] = tr.Text()
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 8; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if texts[g] != ref {
+			t.Fatalf("goroutine %d trace diverges:\n--- ref\n%s\n--- got\n%s", g, ref, texts[g])
+		}
+	}
+}
+
+// TestObsTraceOnOffIdentical pins the zero-interference contract:
+// running with a WithTrace sink changes nothing about the answers —
+// values, probabilities, bounds, steps, and arrival order are bitwise
+// identical to an untraced run.
+func TestObsTraceOnOffIdentical(t *testing.T) {
+	type row struct {
+		vals  []pdb.Value
+		p     float64
+		lo    float64
+		hi    float64
+		steps int
+	}
+	run := func(traced bool) ([]row, int) {
+		gen := tpch.Generate(tpch.Config{SF: 0.002, ProbHigh: 1, Seed: 3})
+		db := repro.NewDB(gen.Space, gen.Supplier, gen.Lineitem)
+		db.Pool().Resize(1)
+		traces := 0
+		opts := []repro.SessionOption{repro.WithEps(1e-3), repro.WithForceLineage(), repro.WithShards(2)}
+		if traced {
+			opts = append(opts, repro.WithTrace(func(tr *repro.QueryTrace) { traces++ }))
+		}
+		sess := db.Session(opts...)
+		node := &plan.TopK{Input: gen.Q15IR(0, tpch.MaxDate/3), K: 3}
+		var rows []row
+		for a, err := range sess.Query(node).Run(context.Background()) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows = append(rows, row{a.Vals, a.P, a.Res.Lo, a.Res.Hi, a.Res.Nodes})
+		}
+		return rows, traces
+	}
+
+	off, traces := run(false)
+	if traces != 0 {
+		t.Fatalf("untraced run delivered %d traces", traces)
+	}
+	on, traces := run(true)
+	if traces != 1 {
+		t.Fatalf("traced run delivered %d traces, want 1", traces)
+	}
+	if len(on) != len(off) {
+		t.Fatalf("traced run: %d answers, untraced %d", len(on), len(off))
+	}
+	for i := range on {
+		a, b := on[i], off[i]
+		if len(a.vals) != len(b.vals) || a.vals[0] != b.vals[0] ||
+			a.p != b.p || a.lo != b.lo || a.hi != b.hi || a.steps != b.steps {
+			t.Fatalf("answer %d diverges under tracing: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestObsMetricsFacade drives the registry surface: DB.Metrics
+// accumulates across queries, Session.Metrics opens a delta window,
+// and PublishExpvar exposes the snapshot on the expvar surface.
+func TestObsMetricsFacade(t *testing.T) {
+	db := smallDB(t)
+	ctx := context.Background()
+
+	if _, err := db.Session().Query("R").Join(db.Session().Query("S"), 1, 0).GroupLineage(3).All(ctx); err == nil {
+		t.Fatal("cross-session join must fail") // sanity: sessions are distinct
+	}
+
+	sess := db.Session(repro.WithForceLineage())
+	if _, err := sess.Query("R").Join(sess.Query("S"), 1, 0).GroupLineage(3).All(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	if snap.Queries != 1 {
+		t.Fatalf("Queries = %d after one query, want 1", snap.Queries)
+	}
+	if snap.RouteLineage != 1 {
+		t.Fatalf("RouteLineage = %d on a forced-lineage query, want 1", snap.RouteLineage)
+	}
+	if snap.LineageAnswers == 0 || snap.LineageTuples == 0 {
+		t.Fatalf("lineage volumes not recorded: %+v", snap)
+	}
+	if snap.QueryWallMicros.Count != 1 {
+		t.Fatalf("QueryWallMicros.Count = %d, want 1", snap.QueryWallMicros.Count)
+	}
+	if snap.InternerStored == 0 {
+		t.Fatalf("interner traffic not recorded: %+v", snap)
+	}
+
+	// A session opened now sees only the traffic it causes.
+	sess2 := db.Session()
+	if d := sess2.Metrics(); d.Queries != 0 {
+		t.Fatalf("fresh session window reports %d queries", d.Queries)
+	}
+	if _, err := sess2.Query("R").GroupLineage(0).All(ctx); err != nil {
+		t.Fatal(err)
+	}
+	d := sess2.Metrics()
+	if d.Queries != 1 {
+		t.Fatalf("session window Queries = %d, want 1", d.Queries)
+	}
+	if got := db.Snapshot().Queries; got != 2 {
+		t.Fatalf("DB-wide Queries = %d, want 2", got)
+	}
+
+	// Safe-route traffic lands in the route counters too.
+	before := db.Snapshot().RouteSafe
+	safe := db.Session()
+	if _, err := safe.Query("R").Join(safe.Query("S"), 1, 0).GroupLineage(3).All(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Snapshot().RouteSafe; got != before+1 {
+		t.Fatalf("RouteSafe = %d after a safe-routed query, want %d", got, before+1)
+	}
+
+	// Expvar export: published once under a unique name, the var
+	// renders the live snapshot as JSON.
+	db.PublishExpvar("repro-test-metrics")
+	v := expvar.Get("repro-test-metrics")
+	if v == nil {
+		t.Fatal("PublishExpvar did not publish")
+	}
+	if s := v.String(); !strings.Contains(s, "\"queries\"") {
+		t.Fatalf("expvar snapshot missing queries field: %s", s)
+	}
+}
+
+// TestObsCacheStatsUnified pins the satellite: every cache of the
+// façade reports the one CacheStats shape, and the hit-rate helpers
+// behave.
+func TestObsCacheStatsUnified(t *testing.T) {
+	db := smallDB(t)
+	sess := db.Session(repro.WithEps(1e-4), repro.WithForceLineage())
+	if _, err := sess.Query("R").Join(sess.Query("S"), 1, 0).GroupLineage(3).All(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var stats [2]repro.CacheStats
+	stats[0] = sess.Cache().CacheStats()
+	stats[1] = sess.FragCache().CacheStats()
+	if stats[1].Lookups() == 0 {
+		t.Fatal("frag cache saw no lookups on an approximate lineage query")
+	}
+	for i, s := range stats {
+		if s.Hits < 0 || s.Misses < 0 || s.Entries < 0 {
+			t.Fatalf("cache %d negative stats: %+v", i, s)
+		}
+		if r := s.HitRate(); math.IsNaN(r) || r < 0 || r > 1 {
+			t.Fatalf("cache %d hit rate %v out of range", i, r)
+		}
+	}
+	if d := stats[1].Sub(repro.CacheStats{}); d != stats[1] {
+		t.Fatalf("Sub(zero) changed the stats: %+v vs %+v", d, stats[1])
+	}
+}

@@ -3,6 +3,7 @@ package repro
 import (
 	"repro/internal/engine"
 	"repro/internal/formula"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -24,6 +25,8 @@ type Session struct {
 	eval         engine.Evaluator
 	forceLineage bool
 	shards       int
+	trace        func(*obs.QueryTrace)
+	view         *obs.View
 }
 
 // SessionOption configures a Session at creation.
@@ -95,10 +98,22 @@ func WithShards(n int) SessionOption {
 	return func(s *Session) { s.shards = n }
 }
 
+// WithTrace installs a per-query trace sink: after each of the
+// session's queries finishes (Run fully iterated, All or Analyze
+// returned), fn receives that execution's populated EXPLAIN ANALYZE
+// trace. Tracing changes no results — answers, their order and
+// refinement steps are bitwise identical with and without it. fn is
+// called synchronously from the goroutine that ran the query, once per
+// execution; with N goroutines querying one session it must be safe
+// for concurrent calls.
+func WithTrace(fn func(*QueryTrace)) SessionOption {
+	return func(s *Session) { s.trace = fn }
+}
+
 // Session opens a session on the DB. With no options: a fresh private
 // probability cache, no budget, exact evaluation.
 func (db *DB) Session(opts ...SessionOption) *Session {
-	s := &Session{db: db}
+	s := &Session{db: db, view: db.metrics.View()}
 	for _, o := range opts {
 		o(s)
 	}
@@ -122,18 +137,25 @@ func (s *Session) Cache() *ProbCache { return s.cache }
 // one, or the cache installed by WithSharedFragCache).
 func (s *Session) FragCache() *FragCache { return s.frags }
 
+// Metrics returns the traffic the DB's registry has recorded since
+// this session was created — a delta window over the shared per-DB
+// registry, not a private ledger: with concurrent sessions on one DB
+// the window includes the others' traffic too.
+func (s *Session) Metrics() obs.Snapshot { return s.view.Snapshot() }
+
 // Evaluator returns the evaluator the session's queries hand lineage
 // to: the one installed by WithEvaluator, else the ε-approximation at
 // the WithEps floor, else exact d-tree compilation — the derived
-// evaluators carrying the session's budget and cache.
+// evaluators carrying the session's budget, cache and the DB's
+// metrics registry.
 func (s *Session) Evaluator() Evaluator {
 	if s.eval != nil {
 		return s.eval
 	}
 	if s.eps > 0 {
-		return engine.Approx{Eps: s.eps, Kind: s.kind, Budget: s.budget, Cache: s.cache, Frags: s.frags, Pool: s.db.pool}
+		return engine.Approx{Eps: s.eps, Kind: s.kind, Budget: s.budget, Cache: s.cache, Frags: s.frags, Pool: s.db.pool, Metrics: s.db.metrics}
 	}
-	return engine.Exact{Budget: s.budget, Cache: s.cache, Pool: s.db.pool}
+	return engine.Exact{Budget: s.budget, Cache: s.cache, Pool: s.db.pool, Metrics: s.db.metrics}
 }
 
 // planOptions translates the session knobs into planner options; every
@@ -144,5 +166,6 @@ func (s *Session) planOptions() plan.Options {
 		DisableIQ:   s.forceLineage,
 		Shards:      s.shards,
 		Pool:        s.db.pool,
+		Metrics:     s.db.metrics,
 	}
 }
