@@ -1,0 +1,190 @@
+// Command reprod is the query service daemon: a probabilistic database
+// behind HTTP, streaming anytime confidence answers.
+//
+//	reprod -addr :8080 -dataset demo -eps 0.01
+//
+// Endpoints (see internal/serve and the README's Serving section):
+//
+//	POST /v1/query            SSE stream (or JSON with Accept: application/json)
+//	GET  /v1/query/{id}/trace EXPLAIN ANALYZE of a recent query
+//	GET  /v1/sessions         live affinity sessions
+//	GET  /metrics             engine + serving metrics
+//	GET  /healthz             readiness (503 once draining)
+//	GET  /debug/vars          expvar, engine snapshot under -expvar name
+//
+// Datasets: -dataset demo is the quickstart's orders/disputes toy;
+// -dataset tpch generates the probabilistic TPC-H instance at
+// -sf/-prob-high/-seed.
+//
+// -fragcache PATH persists the shared prepared-fragment cache across
+// restarts: loaded (if present and version-compatible) at startup,
+// saved on graceful shutdown — a restarted daemon starts with the
+// previous run's leaf decompositions already prepared.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/pdb"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataset     = flag.String("dataset", "demo", "dataset to serve: demo or tpch")
+		sf          = flag.Float64("sf", 0.01, "TPC-H scale factor (dataset=tpch)")
+		probHigh    = flag.Float64("prob-high", 1.0, "upper bound of the tuple-probability distribution (dataset=tpch)")
+		seed        = flag.Int64("seed", 1, "generator seed (dataset=tpch)")
+		eps         = flag.Float64("eps", 0.01, "default ε for requests without an explicit one (0 = exact)")
+		degradedEps = flag.Float64("degraded-eps", 0, "wider ε served under admission pressure (0 = serve default)")
+		maxInflight = flag.Int("max-inflight", 0, "hard admission ceiling, 429 past it (0 = 4×GOMAXPROCS)")
+		degradeAt   = flag.Int("degrade-at", 0, "soft threshold where degradation starts (0 = half the ceiling)")
+		sessionTTL  = flag.Duration("session-ttl", 5*time.Minute, "idle expiry of named sessions")
+		budgetWall  = flag.Duration("budget-timeout", 10*time.Second, "per-query wall-clock budget (0 = unbounded)")
+		fragPath    = flag.String("fragcache", "", "persist the shared prepared-fragment cache at this path")
+		expvarName  = flag.String("expvar", "reprod", "expvar name for the engine snapshot (empty disables)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+
+	db, err := buildDataset(*dataset, *sf, *probHigh, *seed)
+	if err != nil {
+		log.Fatalf("reprod: %v", err)
+	}
+
+	// Warm-start: with -fragcache, every serving session shares one
+	// fragment cache, seeded from the previous run's save when the file
+	// exists and its version matches (anything else is a cold start).
+	var frags *repro.FragCache
+	if *fragPath != "" {
+		frags = loadFrags(*fragPath)
+	}
+
+	srv := repro.NewServer(db, repro.ServeConfig{
+		DefaultEps:    *eps,
+		DegradedEps:   *degradedEps,
+		DefaultBudget: repro.Budget{Timeout: *budgetWall},
+		MaxInflight:   *maxInflight,
+		DegradeAt:     *degradeAt,
+		SessionTTL:    *sessionTTL,
+		SharedFrags:   frags,
+		Logf:          log.Printf,
+	})
+	if *expvarName != "" {
+		db.PublishExpvar(*expvarName)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	hs := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("reprod: serving %s dataset on %s", *dataset, *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("reprod: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("reprod: shutting down (drain deadline %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("reprod: drain: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("reprod: http shutdown: %v", err)
+	}
+	if *fragPath != "" && frags != nil {
+		saveFrags(*fragPath, frags)
+	}
+}
+
+// buildDataset constructs the served DB.
+func buildDataset(name string, sf, probHigh float64, seed int64) (*repro.DB, error) {
+	switch name {
+	case "demo":
+		s := repro.NewSpace()
+		orders := pdb.NewTupleIndependent(s, "orders",
+			[]string{"order", "customer"},
+			[][]pdb.Value{{100, 1}, {101, 1}, {102, 2}, {103, 2}},
+			[]float64{0.9, 0.5, 0.8, 0.6}, 1)
+		disputes := pdb.NewTupleIndependent(s, "disputes",
+			[]string{"order"},
+			[][]pdb.Value{{100}, {102}, {103}},
+			[]float64{0.4, 0.7, 0.2}, 2)
+		return repro.NewDB(s, orders, disputes), nil
+	case "tpch":
+		t := tpch.Generate(tpch.Config{SF: sf, ProbHigh: probHigh, Seed: seed})
+		return repro.NewDB(t.Space,
+			t.Region, t.Nation, t.Supplier, t.Customer,
+			t.Part, t.PartSupp, t.Orders, t.Lineitem), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want demo or tpch)", name)
+	}
+}
+
+// loadFrags warm-starts the shared fragment cache from path; any
+// failure (missing file, stale version, corrupt stream) is a cold
+// start, never a startup error.
+func loadFrags(path string) *repro.FragCache {
+	f, err := os.Open(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("reprod: fragcache %s: %v (cold start)", path, err)
+		}
+		return repro.NewFragCache(0)
+	}
+	defer f.Close()
+	c, err := repro.LoadFragCache(f, 0)
+	if err != nil {
+		log.Printf("reprod: fragcache %s: %v (partial warm start)", path, err)
+	}
+	stats := c.CacheStats()
+	log.Printf("reprod: fragcache %s: %d prepared fragments loaded", path, stats.Entries)
+	return c
+}
+
+// saveFrags persists the shared fragment cache via a temp-file rename,
+// so a crash mid-save never corrupts the previous snapshot.
+func saveFrags(path string, c *repro.FragCache) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		log.Printf("reprod: fragcache save: %v", err)
+		return
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		log.Printf("reprod: fragcache save: %v", err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		log.Printf("reprod: fragcache save: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		log.Printf("reprod: fragcache save: %v", err)
+		return
+	}
+	log.Printf("reprod: fragcache saved to %s (%d entries)", path, c.CacheStats().Entries)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/formula"
 	"repro/internal/obs"
@@ -73,12 +74,31 @@ func (db *DB) Metrics() *obs.Metrics { return db.metrics }
 // and PublishExpvar publishes.
 func (db *DB) Snapshot() obs.Snapshot { return db.metrics.Snapshot() }
 
+// expvarSlots holds one indirection per expvar name ever published by
+// PublishExpvar: the expvar registry itself cannot unpublish or
+// re-publish a name (expvar.Publish panics on duplicates), so each name
+// is published exactly once with a closure reading the slot, and
+// re-publishing just rebinds the slot to the caller's registry.
+var (
+	expvarMu    sync.Mutex
+	expvarSlots = make(map[string]*atomic.Pointer[obs.Metrics])
+)
+
 // PublishExpvar publishes the DB's metrics snapshot on the process's
-// expvar surface (GET /debug/vars) under the given name. Like
-// expvar.Publish, it panics if the name is already published — give
-// each DB its own name, and call it at most once per DB.
+// expvar surface (GET /debug/vars) under the given name. It is
+// idempotent: re-publishing a name — a service handler re-creating its
+// DB after a restart, or two DBs taking turns — rebinds the name to
+// this DB instead of panicking the way a raw expvar.Publish would.
 func (db *DB) PublishExpvar(name string) {
-	expvar.Publish(name, expvar.Func(func() any { return db.metrics.Snapshot() }))
+	expvarMu.Lock()
+	slot, ok := expvarSlots[name]
+	if !ok {
+		slot = new(atomic.Pointer[obs.Metrics])
+		expvarSlots[name] = slot
+		expvar.Publish(name, expvar.Func(func() any { return slot.Load().Snapshot() }))
+	}
+	expvarMu.Unlock()
+	slot.Store(db.metrics)
 }
 
 // Register adds relations to the catalog. It panics on a nil relation,

@@ -98,6 +98,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/rank"
+	"repro/internal/serve"
 )
 
 // Core formula types.
@@ -219,6 +220,50 @@ type (
 	RankItem = rank.Item
 	// RankResult is a ranking run's outcome (items, ranking, steps).
 	RankResult = rank.Result
+)
+
+// Serving-layer types: the long-lived query service in front of the
+// façade (see NewServer) — SSE answer streaming at membership-proof
+// time, session affinity with pinned caches, admission control with
+// documented Eps degradation, /metrics and per-query trace endpoints.
+type (
+	// ServeConfig tunes a query server (precision defaults, degradation
+	// knob, admission thresholds, session TTL, warm fragment cache).
+	ServeConfig = serve.Config
+	// QueryServer is the service itself: Handler to mount, or
+	// ListenAndServe/Shutdown for a managed daemon.
+	QueryServer = serve.Server
+	// ServeRequest is the POST /v1/query body: session name, optional
+	// explicit Eps and budget, and the wire query IR.
+	ServeRequest = serve.Request
+	// ServeNode is one wire query operator (exactly one field set),
+	// mirroring the fluent builder one-to-one.
+	ServeNode = serve.Node
+	// ServeBudget is the wire form of Budget.
+	ServeBudget = serve.Budget
+	// ServeMeta / ServeAnswer / ServeSummary are the stream's event
+	// payloads (meta, answer, done).
+	ServeMeta    = serve.Meta
+	ServeAnswer  = serve.Answer
+	ServeSummary = serve.Summary
+	// ServeMetrics is the serving-layer registry (admission outcomes,
+	// degradations, session churn, stream latencies), exported on
+	// GET /metrics next to the engine's MetricsSnapshot.
+	ServeMetrics = obs.ServeMetrics
+	// ServeSnapshot is a frozen ServeMetrics registry.
+	ServeSnapshot = obs.ServeSnapshot
+	// ServeSessionInfo is one row of GET /v1/sessions.
+	ServeSessionInfo = serve.SessionInfo
+)
+
+// Serving-layer entry points.
+var (
+	// SaveFragCache / LoadFragCache persist a prepared-fragment cache
+	// across process restarts (gob, version-stamped; a stale or corrupt
+	// stream loads as an empty cache — a cold start, not an error). Wire
+	// a loaded cache into ServeConfig.SharedFrags (or any session via
+	// WithSharedFragCache) to warm-start leaf preparation.
+	LoadFragCache = formula.LoadFragCache
 )
 
 // Planner routes.

@@ -1,0 +1,137 @@
+// Serving: the query service end to end — embed a server over a DB,
+// speak the wire protocol as a client, and read the answers off the
+// SSE stream as they are decided.
+//
+// The same server is what `cmd/reprod` runs as a standalone daemon;
+// here it is embedded so the example is self-contained. The client
+// side is plain net/http + a ~20-line SSE parser: POST a JSON query,
+// read `meta`, then one `answer` event per decided answer (each on the
+// wire the moment its top-k membership is proven — compare every
+// answer's decided_at_step against the final done event's steps), then
+// `done`. Afterwards it fetches the query's EXPLAIN ANALYZE from the
+// trace endpoint and the service counters from /metrics.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+
+	"repro"
+	"repro/internal/formula"
+	"repro/internal/pdb"
+)
+
+func main() {
+	// ------------------------------------------------------------------
+	// 1. Server: a DB behind HTTP. Named sessions pin caches, requests
+	//    without an explicit eps may be degraded under load, GET
+	//    /metrics exports engine + serving counters.
+	// ------------------------------------------------------------------
+	s := formula.NewSpace()
+	orders := pdb.NewTupleIndependent(s, "orders",
+		[]string{"order", "customer"},
+		[][]pdb.Value{{100, 1}, {101, 1}, {102, 2}, {103, 2}},
+		[]float64{0.9, 0.5, 0.8, 0.6}, 1)
+	disputes := pdb.NewTupleIndependent(s, "disputes",
+		[]string{"order"},
+		[][]pdb.Value{{100}, {102}, {103}},
+		[]float64{0.4, 0.7, 0.2}, 2)
+	db := repro.NewDB(s, orders, disputes)
+
+	srv := repro.NewServer(db, repro.ServeConfig{
+		DefaultEps:  0.01,
+		DegradedEps: 0.05,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// ------------------------------------------------------------------
+	// 2. Client: POST the wire query. The JSON IR mirrors the fluent
+	//    builder one-to-one — this is
+	//        orders ⋈ disputes  ▷ where customer ≥ 0
+	//                           ▷ group lineage by customer ▷ top-2
+	//    on the session "walkthrough", which pins its caches for any
+	//    follow-up requests.
+	// ------------------------------------------------------------------
+	const query = `{
+	  "session": "walkthrough",
+	  "query": {"top_k": {"k": 2, "input":
+	    {"group_lineage": {"cols": [1], "input":
+	      {"where": {"col": 1, "op": "ge", "value": 0, "input":
+	        {"join": {"left_col": 0, "right_col": 0,
+	          "left":  {"scan": "orders"},
+	          "right": {"scan": "disputes"}}}}}}}}}
+	}`
+
+	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(query))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println("status:", resp.Status, "content-type:", resp.Header.Get("Content-Type"))
+
+	// ------------------------------------------------------------------
+	// 3. Stream: SSE is lines of "event: <name>" / "data: <json>". The
+	//    query id in the meta event addresses the trace endpoint later.
+	// ------------------------------------------------------------------
+	var queryID string
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			fmt.Printf("%-6s %s\n", event, data)
+			if event == "meta" {
+				if i := strings.Index(data, `"id":"`); i >= 0 {
+					queryID = data[i+6:]
+					queryID = queryID[:strings.IndexByte(queryID, '"')]
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		panic(err)
+	}
+
+	// ------------------------------------------------------------------
+	// 4. Afterlife: EXPLAIN ANALYZE of the finished query, and the
+	//    service counters.
+	// ------------------------------------------------------------------
+	trace, err := http.Get(base + "/v1/query/" + queryID + "/trace?format=text")
+	if err != nil {
+		panic(err)
+	}
+	defer trace.Body.Close()
+	tsc := bufio.NewScanner(trace.Body)
+	for tsc.Scan() {
+		fmt.Println("trace:", tsc.Text())
+	}
+
+	metrics, err := http.Get(base + "/metrics")
+	if err != nil {
+		panic(err)
+	}
+	defer metrics.Body.Close()
+	msc := bufio.NewScanner(metrics.Body)
+	for msc.Scan() {
+		fmt.Println("metrics:", msc.Text())
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		panic(err)
+	}
+	fmt.Println("drained and shut down")
+}

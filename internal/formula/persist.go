@@ -1,0 +1,118 @@
+package formula
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// The FragCache disk format is a gob stream: a header first, then the
+// entry count, then one fragEntryGob per memoized fragment. The header
+// carries a magic string and a format version; LoadFragCache treats any
+// mismatch as "no warm state" rather than an error, so a daemon
+// restarting across an incompatible upgrade falls back to a cold cache
+// instead of refusing to start.
+const (
+	fragCacheMagic   = "repro.fragcache"
+	fragCacheVersion = 1
+)
+
+type fragHeaderGob struct {
+	Magic   string
+	Version int
+}
+
+type fragEntryGob struct {
+	Key     DNF
+	Variant uint8
+	D       DNF
+	Lo, Hi  float64
+	Exact   bool
+	Work    int64
+	// Comps is the lazily-memoized component partition, nil when no
+	// decomposition had computed it by save time.
+	Comps [][]int
+}
+
+// Save writes the cache's memoized fragments to w in the versioned gob
+// format LoadFragCache reads — the warm-start path for a long-lived
+// query service: persist the prepared-fragment cache at shutdown, load
+// it at startup, and the first queries after a restart skip leaf
+// preparation exactly as if the process had never died. Traffic
+// counters (hits/misses) are process-local and not persisted.
+//
+// Save snapshots the entry set under the cache's read lock; entries
+// stored concurrently with the snapshot may or may not be included.
+// Entries embed the probability space's variable identities, so a saved
+// cache is only meaningful to a process rebuilding the identical Space
+// (same generator, same seed) — the same rule as sharing a live cache.
+func (c *FragCache) Save(w io.Writer) error {
+	c.mu.RLock()
+	entries := make([]*fragCacheEntry, 0, c.n)
+	for _, bucket := range c.buckets {
+		entries = append(entries, bucket...)
+	}
+	c.mu.RUnlock()
+
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(fragHeaderGob{Magic: fragCacheMagic, Version: fragCacheVersion}); err != nil {
+		return fmt.Errorf("formula: FragCache.Save header: %w", err)
+	}
+	if err := enc.Encode(len(entries)); err != nil {
+		return fmt.Errorf("formula: FragCache.Save count: %w", err)
+	}
+	for _, e := range entries {
+		g := fragEntryGob{
+			Key:     e.key,
+			Variant: e.variant,
+			D:       e.frag.D,
+			Lo:      e.frag.Lo,
+			Hi:      e.frag.Hi,
+			Exact:   e.frag.Exact,
+			Work:    e.frag.Work,
+		}
+		if comps, ok := e.frag.Components(); ok {
+			g.Comps = comps
+		}
+		if err := enc.Encode(g); err != nil {
+			return fmt.Errorf("formula: FragCache.Save entry: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadFragCache reads a cache saved by Save into a fresh FragCache
+// bounded at maxEntries (<= 0 means DefaultFragCacheEntries; entries
+// beyond the bound are dropped). A header mismatch — wrong magic or a
+// different format version — returns an empty cache and a nil error:
+// stale warm-start state from an older build is discarded, not fatal.
+// A stream that matches the header but is truncated or corrupt returns
+// the entries decoded so far alongside the error, so callers may still
+// choose to use the partial cache.
+func LoadFragCache(r io.Reader, maxEntries int) (*FragCache, error) {
+	c := NewFragCache(maxEntries)
+	dec := gob.NewDecoder(r)
+	var h fragHeaderGob
+	if err := dec.Decode(&h); err != nil {
+		return c, nil // not a fragcache stream at all: cold start
+	}
+	if h.Magic != fragCacheMagic || h.Version != fragCacheVersion {
+		return c, nil // version mismatch: cold start
+	}
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return c, fmt.Errorf("formula: LoadFragCache count: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		var g fragEntryGob
+		if err := dec.Decode(&g); err != nil {
+			return c, fmt.Errorf("formula: LoadFragCache entry %d of %d: %w", i, n, err)
+		}
+		f := &PreparedFrag{D: g.D, Lo: g.Lo, Hi: g.Hi, Exact: g.Exact, Work: g.Work}
+		if g.Comps != nil {
+			f.SetComponents(g.Comps)
+		}
+		c.Store(g.Key, g.Variant, f)
+	}
+	return c, nil
+}

@@ -1,0 +1,154 @@
+package formula
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func persistTestCache(t *testing.T) (*FragCache, []DNF) {
+	t.Helper()
+	c := NewFragCache(0)
+	var keys []DNF
+	for i := 0; i < 8; i++ {
+		x, y := Var(2*i), Var(2*i+1)
+		ca, _ := NewClause(Pos(x), Pos(y))
+		cb, _ := NewClause(Neg(x))
+		key := DNF{ca, cb}
+		frag := &PreparedFrag{
+			D:     DNF{ca, cb},
+			Lo:    0.1 * float64(i+1) / 10,
+			Hi:    0.2 * float64(i+1) / 10,
+			Exact: i%2 == 0,
+			Work:  int64(10 + i),
+		}
+		if i%3 == 0 {
+			frag.SetComponents([][]int{{0}, {1}})
+		}
+		c.Store(key, uint8(i%2), frag)
+		keys = append(keys, key)
+	}
+	return c, keys
+}
+
+func TestFragCacheSaveLoadRoundtrip(t *testing.T) {
+	c, keys := persistTestCache(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadFragCache(&buf, 0)
+	if err != nil {
+		t.Fatalf("LoadFragCache: %v", err)
+	}
+	if loaded.Len() != c.Len() {
+		t.Fatalf("loaded %d entries, want %d", loaded.Len(), c.Len())
+	}
+	for i, key := range keys {
+		want, ok := c.Lookup(key, uint8(i%2))
+		if !ok {
+			t.Fatalf("original cache lost key %d", i)
+		}
+		got, ok := loaded.Lookup(key, uint8(i%2))
+		if !ok {
+			t.Fatalf("loaded cache missing key %d", i)
+		}
+		if !got.D.Equal(want.D) || got.Lo != want.Lo || got.Hi != want.Hi ||
+			got.Exact != want.Exact || got.Work != want.Work {
+			t.Fatalf("entry %d mismatch: got %+v want %+v", i, got, want)
+		}
+		wc, wok := want.Components()
+		gc, gok := got.Components()
+		if wok != gok {
+			t.Fatalf("entry %d components presence: got %v want %v", i, gok, wok)
+		}
+		if wok && len(wc) != len(gc) {
+			t.Fatalf("entry %d components mismatch: got %v want %v", i, gc, wc)
+		}
+		// The other variant must stay invisible.
+		if _, ok := loaded.Lookup(key, uint8((i+1)%2)); ok {
+			t.Fatalf("entry %d visible under wrong variant", i)
+		}
+	}
+}
+
+func TestFragCacheLoadVersionMismatchFallsBackEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(fragHeaderGob{Magic: fragCacheMagic, Version: fragCacheVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(3); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadFragCache(&buf, 0)
+	if err != nil {
+		t.Fatalf("version mismatch must fall back, not fail: %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("version mismatch loaded %d entries, want 0", c.Len())
+	}
+
+	// Arbitrary non-fragcache bytes also fall back to a cold cache.
+	c, err = LoadFragCache(bytes.NewBufferString("not a fragcache"), 0)
+	if err != nil || c.Len() != 0 {
+		t.Fatalf("garbage input: cache len %d err %v, want empty and nil", c.Len(), err)
+	}
+}
+
+func TestFragCacheLoadTruncatedReturnsPartialAndError(t *testing.T) {
+	c, _ := persistTestCache(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-10]
+	loaded, err := LoadFragCache(bytes.NewReader(cut), 0)
+	if err == nil {
+		t.Fatal("truncated stream must report an error")
+	}
+	if loaded == nil {
+		t.Fatal("truncated stream must still return a usable cache")
+	}
+	if loaded.Len() >= c.Len() {
+		t.Fatalf("truncated stream decoded %d entries, want fewer than %d", loaded.Len(), c.Len())
+	}
+}
+
+func TestFragCacheLoadRespectsMaxEntries(t *testing.T) {
+	c, _ := persistTestCache(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFragCache(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 3 {
+		t.Fatalf("bounded load stored %d entries, want 3", loaded.Len())
+	}
+}
+
+func TestFragCacheSaveLoadSurvivesRestartLookup(t *testing.T) {
+	// The serving scenario: prepare-once before "restart", hit after.
+	c, keys := persistTestCache(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := LoadFragCache(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := warm.CacheStats()
+	if base.Hits != 0 || base.Misses != 0 {
+		t.Fatalf("traffic counters must start cold after load: %+v", base)
+	}
+	if _, ok := warm.Lookup(keys[0], 0); !ok {
+		t.Fatal("warm cache missed a persisted fragment")
+	}
+	if s := warm.CacheStats(); s.Hits != 1 {
+		t.Fatalf("expected 1 hit after warm lookup, got %+v", s)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import "time"
+
+// ServeMetrics is the serving layer's registry: one per query server,
+// alongside (not inside) the engine's Metrics — the engine registry
+// counts refinement work, this one counts request-level outcomes
+// (admission decisions, degradations, rejections, disconnects, session
+// churn). The split keeps the engine layer ignorant of HTTP while the
+// /metrics endpoint exports both side by side.
+//
+// Like Metrics, every recording method is nil-safe and each event is
+// one or two uncontended atomic adds.
+type ServeMetrics struct {
+	// Requests counts query requests received (before admission).
+	Requests Counter
+	// Admitted / Degraded / Rejected classify admission outcomes:
+	// Admitted counts every request that ran (including degraded ones),
+	// Degraded the subset whose Eps was widened under pressure, and
+	// Rejected the requests shed with 429.
+	Admitted Counter
+	Degraded Counter
+	Rejected Counter
+	// Disconnects counts streams ended by the client going away before
+	// the query finished.
+	Disconnects Counter
+	// AnswersStreamed counts answer events written to the wire.
+	AnswersStreamed Counter
+	// StreamsInflight is the number of admitted queries currently
+	// running (the admission controller's load signal).
+	StreamsInflight Gauge
+	// SessionsActive / SessionsCreated / SessionsExpired track the named
+	// affinity sessions the server pins.
+	SessionsActive  Gauge
+	SessionsCreated Counter
+	SessionsExpired Counter
+	// FirstEventMicros is the time from request receipt to the first
+	// event on the wire; DrainMicros the time graceful shutdown spent
+	// draining in-flight streams.
+	FirstEventMicros Histogram
+	DrainMicros      Histogram
+}
+
+// NewServeMetrics returns an empty registry (the zero value also works).
+func NewServeMetrics() *ServeMetrics { return &ServeMetrics{} }
+
+// RecordAdmission counts one admission decision. admitted false means
+// the request was shed; degraded marks an admitted request whose Eps
+// was widened.
+func (m *ServeMetrics) RecordAdmission(admitted, degraded bool) {
+	if m == nil {
+		return
+	}
+	m.Requests.Inc()
+	if !admitted {
+		m.Rejected.Inc()
+		return
+	}
+	m.Admitted.Inc()
+	m.StreamsInflight.Add(1)
+	if degraded {
+		m.Degraded.Inc()
+	}
+}
+
+// RecordDone retires one admitted query. disconnected marks a stream
+// the client abandoned mid-run.
+func (m *ServeMetrics) RecordDone(disconnected bool) {
+	if m == nil {
+		return
+	}
+	m.StreamsInflight.Add(-1)
+	if disconnected {
+		m.Disconnects.Inc()
+	}
+}
+
+// RecordFirstEvent records the request-to-first-wire-event latency.
+func (m *ServeMetrics) RecordFirstEvent(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.FirstEventMicros.Observe(d.Microseconds())
+}
+
+// RecordAnswer counts one answer event written to the wire.
+func (m *ServeMetrics) RecordAnswer() {
+	if m == nil {
+		return
+	}
+	m.AnswersStreamed.Inc()
+}
+
+// RecordSession tracks session-manager churn: delta +1 on create,
+// -1 on expiry.
+func (m *ServeMetrics) RecordSession(delta int64) {
+	if m == nil {
+		return
+	}
+	m.SessionsActive.Add(delta)
+	if delta > 0 {
+		m.SessionsCreated.Add(delta)
+	} else {
+		m.SessionsExpired.Add(-delta)
+	}
+}
+
+// RecordDrain records a graceful shutdown's drain time.
+func (m *ServeMetrics) RecordDrain(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.DrainMicros.Observe(d.Microseconds())
+}
+
+// Snapshot freezes the registry into the flat export shape the
+// /metrics endpoint marshals.
+func (m *ServeMetrics) Snapshot() ServeSnapshot {
+	if m == nil {
+		return ServeSnapshot{}
+	}
+	return ServeSnapshot{
+		Requests:         m.Requests.Value(),
+		Admitted:         m.Admitted.Value(),
+		Degraded:         m.Degraded.Value(),
+		Rejected:         m.Rejected.Value(),
+		Disconnects:      m.Disconnects.Value(),
+		AnswersStreamed:  m.AnswersStreamed.Value(),
+		StreamsInflight:  m.StreamsInflight.Value(),
+		SessionsActive:   m.SessionsActive.Value(),
+		SessionsCreated:  m.SessionsCreated.Value(),
+		SessionsExpired:  m.SessionsExpired.Value(),
+		FirstEventMicros: m.FirstEventMicros.Snapshot(),
+		DrainMicros:      m.DrainMicros.Snapshot(),
+	}
+}
+
+// ServeSnapshot is a frozen ServeMetrics registry.
+type ServeSnapshot struct {
+	Requests        int64 `json:"requests"`
+	Admitted        int64 `json:"admitted"`
+	Degraded        int64 `json:"degraded"`
+	Rejected        int64 `json:"rejected"`
+	Disconnects     int64 `json:"disconnects"`
+	AnswersStreamed int64 `json:"answers_streamed"`
+	StreamsInflight int64 `json:"streams_inflight"`
+	SessionsActive  int64 `json:"sessions_active"`
+	SessionsCreated int64 `json:"sessions_created"`
+	SessionsExpired int64 `json:"sessions_expired"`
+
+	FirstEventMicros HistogramSnapshot `json:"first_event_us"`
+	DrainMicros      HistogramSnapshot `json:"drain_us"`
+}
+
+// Sub returns the field-wise delta s − base (gauges kept from s).
+func (s ServeSnapshot) Sub(base ServeSnapshot) ServeSnapshot {
+	return ServeSnapshot{
+		Requests:         s.Requests - base.Requests,
+		Admitted:         s.Admitted - base.Admitted,
+		Degraded:         s.Degraded - base.Degraded,
+		Rejected:         s.Rejected - base.Rejected,
+		Disconnects:      s.Disconnects - base.Disconnects,
+		AnswersStreamed:  s.AnswersStreamed - base.AnswersStreamed,
+		StreamsInflight:  s.StreamsInflight,
+		SessionsActive:   s.SessionsActive,
+		SessionsCreated:  s.SessionsCreated - base.SessionsCreated,
+		SessionsExpired:  s.SessionsExpired - base.SessionsExpired,
+		FirstEventMicros: s.FirstEventMicros.Sub(base.FirstEventMicros),
+		DrainMicros:      s.DrainMicros.Sub(base.DrainMicros),
+	}
+}

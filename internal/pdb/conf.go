@@ -23,6 +23,14 @@ type AnswerConf struct {
 	// Err records this answer's evaluation failure, if any; other
 	// answers of the batch are unaffected.
 	Err error
+	// DecidedAtStep, on answers produced by the anytime ranking
+	// schedulers, is the scheduler's cumulative step count at the moment
+	// this answer's membership was proven (see rank.Item.DecidedAtStep);
+	// zero on unranked answers and on borderline answers cut by
+	// estimate. A streamed answer whose DecidedAtStep is strictly below
+	// the run's final step count was delivered before refinement of the
+	// remaining answers finished — the wire-visible anytime proof.
+	DecidedAtStep int
 }
 
 // Conf is the conf() operator: it computes the confidence of every

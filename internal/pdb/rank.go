@@ -51,6 +51,7 @@ func RankedConf(a Answer, it rank.Item) AnswerConf {
 			Lo: it.Lo, Hi: it.Hi, Estimate: it.P,
 			Exact: it.Lo == it.Hi, Converged: it.Converged,
 		},
+		DecidedAtStep: it.DecidedAtStep,
 	}
 }
 

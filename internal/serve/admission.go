@@ -1,0 +1,65 @@
+package serve
+
+import "sync/atomic"
+
+// admission is the server's two-threshold inflight limiter. Below
+// degradeAt, queries run at their requested precision; between
+// degradeAt and max, default-precision queries are widened to the
+// degraded Eps (cheaper refinement, earlier convergence) so the
+// backlog drains faster; at max, new queries are shed with 429.
+//
+// The limiter composes with the per-query engine.Budget: max bounds how
+// many evaluations run at once and the budget bounds how much work each
+// admitted one may do, so max × budget is the server's total inflight
+// work envelope.
+type admission struct {
+	max       int64
+	degradeAt int64
+	inflight  atomic.Int64
+}
+
+// acquire claims one inflight slot. ok reports admission; degraded
+// reports the server was past the soft threshold at admission time, so
+// degradation-eligible queries should widen. A false ok claims nothing.
+func (a *admission) acquire() (ok, degraded bool) {
+	for {
+		n := a.inflight.Load()
+		if n >= a.max {
+			return false, false
+		}
+		if a.inflight.CompareAndSwap(n, n+1) {
+			return true, n+1 > a.degradeAt
+		}
+	}
+}
+
+// release returns a slot claimed by a successful acquire.
+func (a *admission) release() { a.inflight.Add(-1) }
+
+// load reports the current inflight count.
+func (a *admission) load() int64 { return a.inflight.Load() }
+
+// effectiveEps decides the precision a query actually runs at.
+//
+// requested/explicit carry the client's ask: explicit means the request
+// (or its session, stickily) named an Eps — including an explicit 0,
+// which asks for exact evaluation. defaultEps is the server default for
+// unconstrained requests, degradedEps the wider floor used under
+// pressure, and degraded whether admission crossed the soft threshold.
+//
+// The clamp rule (the documented degradation contract): an explicit Eps
+// is never altered — not widened under pressure, not narrowed when the
+// default is tighter. Degradation only widens requests that left the
+// choice to the server, and only when the degraded floor is actually
+// wider than the default (a misconfigured degradedEps below the default
+// would be a precision upgrade, not a degradation, so it is ignored).
+func effectiveEps(requested float64, explicit bool, defaultEps, degradedEps float64, degraded bool) (eps float64, widened bool) {
+	if explicit {
+		return requested, false
+	}
+	eps = defaultEps
+	if degraded && degradedEps > eps {
+		return degradedEps, true
+	}
+	return eps, false
+}

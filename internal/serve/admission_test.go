@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestServeEffectiveEpsClamp pins the degradation contract (the documented
+// knob): only requests that left precision to the server are widened,
+// and an explicitly requested Eps — including an explicit 0, the exact
+// ask — is never altered, under pressure or not.
+func TestServeEffectiveEpsClamp(t *testing.T) {
+	const def, deg = 0.01, 0.05
+	cases := []struct {
+		name       string
+		requested  float64
+		explicit   bool
+		degraded   bool
+		wantEps    float64
+		wantWident bool
+	}{
+		{"default, calm", 0, false, false, def, false},
+		{"default, pressured", 0, false, true, deg, true},
+		{"explicit tighter than default, calm", 0.001, true, false, 0.001, false},
+		{"explicit tighter than default, pressured", 0.001, true, true, 0.001, false},
+		{"explicit wider than degraded, pressured", 0.2, true, true, 0.2, false},
+		{"explicit equal to default, pressured", def, true, true, def, false},
+		{"explicit exact (0), pressured", 0, true, true, 0, false},
+	}
+	for _, c := range cases {
+		eps, widened := effectiveEps(c.requested, c.explicit, def, deg, c.degraded)
+		if eps != c.wantEps || widened != c.wantWident {
+			t.Errorf("%s: effectiveEps = (%g, %v), want (%g, %v)",
+				c.name, eps, widened, c.wantEps, c.wantWident)
+		}
+	}
+}
+
+// TestServeEffectiveEpsMisconfiguredDegraded pins the guard: a degraded Eps
+// tighter than the default is not a degradation, so pressure changes
+// nothing.
+func TestServeEffectiveEpsMisconfiguredDegraded(t *testing.T) {
+	eps, widened := effectiveEps(0, false, 0.1, 0.05, true)
+	if eps != 0.1 || widened {
+		t.Fatalf("effectiveEps = (%g, %v), want (0.1, false): degradation must never tighten", eps, widened)
+	}
+}
+
+// TestServeAdmissionThresholds pins the two-threshold ordering: below the
+// soft threshold queries run undegraded, between the thresholds they
+// run degraded, and at the ceiling they are rejected.
+func TestServeAdmissionThresholds(t *testing.T) {
+	a := &admission{max: 4, degradeAt: 2}
+
+	ok, deg := a.acquire() // 1 inflight
+	if !ok || deg {
+		t.Fatalf("slot 1: (ok, degraded) = (%v, %v), want (true, false)", ok, deg)
+	}
+	ok, deg = a.acquire() // 2 inflight: at the soft threshold, still calm
+	if !ok || deg {
+		t.Fatalf("slot 2: (ok, degraded) = (%v, %v), want (true, false)", ok, deg)
+	}
+	ok, deg = a.acquire() // 3 inflight: past the soft threshold
+	if !ok || !deg {
+		t.Fatalf("slot 3: (ok, degraded) = (%v, %v), want (true, true)", ok, deg)
+	}
+	ok, deg = a.acquire() // 4 inflight: last admitted slot, degraded
+	if !ok || !deg {
+		t.Fatalf("slot 4: (ok, degraded) = (%v, %v), want (true, true)", ok, deg)
+	}
+	if ok, _ = a.acquire(); ok { // 5th: ceiling
+		t.Fatal("slot 5 admitted past the ceiling")
+	}
+	a.release()
+	if ok, _ = a.acquire(); !ok {
+		t.Fatal("slot not admitted after a release freed one")
+	}
+	for range 4 {
+		a.release()
+	}
+	if n := a.load(); n != 0 {
+		t.Fatalf("inflight = %d after releasing everything, want 0", n)
+	}
+}
+
+// TestServeAdmissionConcurrent hammers acquire/release from many goroutines
+// and checks the ceiling is never exceeded and the count returns to
+// zero — the CAS loop's linearizability, meaningful under -race.
+func TestServeAdmissionConcurrent(t *testing.T) {
+	a := &admission{max: 8, degradeAt: 4}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	peak := int64(0)
+	for range 32 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 200 {
+				ok, _ := a.acquire()
+				if !ok {
+					continue
+				}
+				n := a.load()
+				mu.Lock()
+				if n > peak {
+					peak = n
+				}
+				mu.Unlock()
+				a.release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > 8 {
+		t.Fatalf("inflight peaked at %d, past the ceiling 8", peak)
+	}
+	if n := a.load(); n != 0 {
+		t.Fatalf("inflight = %d after the storm, want 0", n)
+	}
+}

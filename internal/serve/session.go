@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// session is one affinity unit: a backend SessionClient with its pinned
+// caches, plus the sticky precision contract and the bookkeeping the
+// manager needs for TTL expiry.
+type session struct {
+	name   string
+	client SessionClient
+
+	mu       sync.Mutex
+	eps      float64 // last explicit Eps seen on this session
+	explicit bool    // whether any request ever named one
+	inflight int     // queries currently running on this session
+	lastUsed time.Time
+}
+
+// noteEps records a request's precision ask against the session's
+// sticky contract and returns the ask admission control should clamp
+// against: a request carrying its own Eps updates the contract; one
+// without inherits whatever the session last pinned.
+func (s *session) noteEps(reqEps *float64) (eps float64, explicit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reqEps != nil {
+		s.eps, s.explicit = *reqEps, true
+	}
+	return s.eps, s.explicit
+}
+
+// SessionInfo is one row of GET /v1/sessions.
+type SessionInfo struct {
+	Name     string  `json:"name"`
+	Inflight int     `json:"inflight"`
+	IdleMS   int64   `json:"idle_ms"`
+	Eps      float64 `json:"eps,omitempty"`
+	Explicit bool    `json:"explicit_eps,omitempty"`
+}
+
+// sessionManager owns the name → session affinity map. Named sessions
+// are created on first use and expired by the janitor once idle past
+// the TTL (never while a query is inflight on them); unnamed requests
+// get a one-shot session that is never registered.
+type sessionManager struct {
+	backend Backend
+	ttl     time.Duration
+	met     *obs.ServeMetrics
+
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+func newSessionManager(backend Backend, ttl time.Duration, met *obs.ServeMetrics) *sessionManager {
+	return &sessionManager{
+		backend:  backend,
+		ttl:      ttl,
+		met:      met,
+		sessions: make(map[string]*session),
+	}
+}
+
+// acquire resolves a request's session and marks one query inflight on
+// it. The inflight mark keeps the janitor from expiring a session out
+// from under a running stream.
+func (m *sessionManager) acquire(name string, now time.Time) *session {
+	if name == "" {
+		return &session{client: m.backend.OpenSession(), lastUsed: now}
+	}
+	m.mu.Lock()
+	s, ok := m.sessions[name]
+	if !ok {
+		s = &session{name: name, client: m.backend.OpenSession(), lastUsed: now}
+		m.sessions[name] = s
+		m.met.RecordSession(+1)
+	}
+	m.mu.Unlock()
+
+	s.mu.Lock()
+	s.inflight++
+	s.lastUsed = now
+	s.mu.Unlock()
+	return s
+}
+
+// release undoes acquire's inflight mark and restamps idleness.
+func (m *sessionManager) release(s *session, now time.Time) {
+	s.mu.Lock()
+	s.inflight--
+	s.lastUsed = now
+	s.mu.Unlock()
+}
+
+// sweep expires sessions idle past the TTL. A session with inflight
+// queries is never expired, whatever its timestamp says.
+func (m *sessionManager) sweep(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, s := range m.sessions {
+		s.mu.Lock()
+		idle := s.inflight == 0 && now.Sub(s.lastUsed) >= m.ttl
+		s.mu.Unlock()
+		if idle {
+			delete(m.sessions, name)
+			m.met.RecordSession(-1)
+		}
+	}
+}
+
+// stats snapshots the live sessions for GET /v1/sessions.
+func (m *sessionManager) stats(now time.Time) []SessionInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SessionInfo, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		s.mu.Lock()
+		out = append(out, SessionInfo{
+			Name:     s.name,
+			Inflight: s.inflight,
+			IdleMS:   now.Sub(s.lastUsed).Milliseconds(),
+			Eps:      s.eps,
+			Explicit: s.explicit,
+		})
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+// TestServeSoakConcurrentSessions is the concurrency soak (run it
+// under -race): N named sessions stream M queries each, concurrently,
+// mixing clean runs, mid-stream client disconnects and budget
+// exhaustions. Afterwards the server must be fully retired — no stream
+// inflight, no leaked goroutines, partial results delivered with their
+// errors — and shut down cleanly.
+func TestServeSoakConcurrentSessions(t *testing.T) {
+	srv := repro.NewServer(serveDB(t), repro.ServeConfig{
+		DefaultEps:  1e-3,
+		MaxInflight: 64,
+		DegradeAt:   64, // soak admission stays calm; pressure has its own test
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	base := ts.URL
+
+	// Warm up one request so lazy pools/conns exist, then take the
+	// goroutine baseline the post-soak settle is measured against.
+	if _, _, errMsg, _, _ := collectStream(t, base, serve.Request{Query: topkQuery(1)}); errMsg != "" {
+		t.Fatalf("warmup: %s", errMsg)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	baseline := runtime.NumGoroutine()
+
+	const sessions, queries = 4, 4
+	var wg sync.WaitGroup
+	disconnects := 0
+	for si := 0; si < sessions; si++ {
+		name := string(rune('a' + si))
+		for qi := 0; qi < queries; qi++ {
+			mode := qi % 4
+			if mode == 2 {
+				disconnects++
+			}
+			wg.Add(1)
+			go func(name string, mode int) {
+				defer wg.Done()
+				switch mode {
+				case 0:
+					// Clean anytime run over the ranked grids.
+					_, answers, errMsg, sum, _ := collectStream(t, base,
+						serve.Request{Session: name, Query: gridTopK(3, "le", 5)})
+					if errMsg != "" || sum.Error != "" || len(answers) != 3 {
+						t.Errorf("session %s ranked run: %d answers, err %q/%q", name, len(answers), errMsg, sum.Error)
+					}
+				case 1:
+					// Clean trivial run over the demo relations.
+					_, answers, errMsg, _, _ := collectStream(t, base,
+						serve.Request{Session: name, Query: topkQuery(2)})
+					if errMsg != "" || len(answers) != 2 {
+						t.Errorf("session %s demo run: %d answers, err %q", name, len(answers), errMsg)
+					}
+				case 2:
+					// Mid-stream disconnect during the tied grind.
+					body, _ := json.Marshal(serve.Request{
+						Session: name,
+						Eps:     f64(1e-4),
+						Budget:  &serve.Budget{TimeoutMS: 60_000},
+						Query:   gridTopK(2, "ge", 9),
+					})
+					ctx, cancel := context.WithCancel(context.Background())
+					defer cancel()
+					hr, _ := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/query", bytes.NewReader(body))
+					resp, err := http.DefaultClient.Do(hr)
+					if err != nil {
+						t.Errorf("session %s disconnect run: %v", name, err)
+						return
+					}
+					defer resp.Body.Close()
+					saw := false
+					readSSE(resp.Body, func(e sseEvent) bool {
+						if e.name == "answer" {
+							saw = true
+							cancel()
+							return false
+						}
+						return true
+					})
+					if !saw {
+						t.Errorf("session %s disconnect run: no answer before hangup", name)
+					}
+				case 3:
+					// Budget exhaustion: the exact grid inside a node
+					// budget it cannot meet — the stream still ends with
+					// a well-formed done event carrying the error.
+					_, _, errMsg, sum, order := collectStream(t, base, serve.Request{
+						Session: name,
+						Eps:     f64(0),
+						Budget:  &serve.Budget{MaxNodes: 2000},
+						Query:   gridQuery(),
+					})
+					if errMsg == "" && sum.Error == "" {
+						t.Errorf("session %s budget run finished without the budget error", name)
+					}
+					if len(order) == 0 || order[len(order)-1] != "done" {
+						t.Errorf("session %s budget run event order %v, want a final done", name, order)
+					}
+				}
+			}(name, mode)
+		}
+	}
+	wg.Wait()
+
+	// Every admitted stream retired, every disconnect counted.
+	waitInflight(t, base, 0)
+	m := getMetrics(t, base).Serve
+	if m.Requests != sessions*queries+1 || m.Rejected != 0 {
+		t.Fatalf("requests/rejected = %d/%d, want %d/0", m.Requests, m.Rejected, sessions*queries+1)
+	}
+	if m.Disconnects != int64(disconnects) {
+		t.Fatalf("disconnects = %d, want %d", m.Disconnects, disconnects)
+	}
+	if m.SessionsActive != sessions {
+		t.Fatalf("sessions_active = %d, want %d", m.SessionsActive, sessions)
+	}
+
+	// No leaked goroutines once idle connections are gone.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+8 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines settled at %d, baseline %d — leak", n, baseline)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// And the drain is clean: nothing inflight, so Shutdown is prompt.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("clean shutdown: %v", err)
+	}
+}

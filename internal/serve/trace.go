@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// traceEntry is one completed query's record for the trace endpoint:
+// the wire-facing meta and summary plus the engine's EXPLAIN ANALYZE
+// trace.
+type traceEntry struct {
+	ID      string          `json:"id"`
+	Session string          `json:"session,omitempty"`
+	At      time.Time       `json:"at"`
+	Meta    Meta            `json:"meta"`
+	Summary Summary         `json:"summary"`
+	Trace   *obs.QueryTrace `json:"trace,omitempty"`
+}
+
+// traceStore is a bounded FIFO ring of recent query traces keyed by
+// query ID — GET /v1/query/{id}/trace reads it. Bounding by count (not
+// age) keeps its memory fixed regardless of query rate; once full, each
+// insert evicts the oldest entry.
+type traceStore struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	byID  map[string]*traceEntry
+}
+
+func newTraceStore(capacity int) *traceStore {
+	return &traceStore{cap: capacity, byID: make(map[string]*traceEntry, capacity)}
+}
+
+func (ts *traceStore) put(e *traceEntry) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, dup := ts.byID[e.ID]; !dup {
+		for len(ts.order) >= ts.cap {
+			delete(ts.byID, ts.order[0])
+			ts.order = ts.order[1:]
+		}
+		ts.order = append(ts.order, e.ID)
+	}
+	ts.byID[e.ID] = e
+}
+
+func (ts *traceStore) get(id string) (*traceEntry, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	e, ok := ts.byID[id]
+	return e, ok
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Request is the JSON body of POST /v1/query: which affinity session to
+// run under, an optional per-request precision and budget, and the
+// query itself in the wire plan IR.
+type Request struct {
+	// Session names the affinity session the query runs under. Named
+	// sessions pin their probability and prepared-fragment caches across
+	// requests (and expire when idle, Config.SessionTTL); an empty name
+	// runs the query on a fresh one-shot session.
+	Session string `json:"session,omitempty"`
+	// Eps, when present, is an explicit request for the ε-approximation
+	// floor (absolute error). An explicit Eps is a contract: admission
+	// control never degrades such a query to a wider Eps — under
+	// pressure it either runs as requested or is shed with 429. Requests
+	// without Eps run at the server default and are eligible for
+	// degradation. On a named session the explicit Eps is sticky: later
+	// requests on the session inherit it unless they carry their own.
+	Eps *float64 `json:"eps,omitempty"`
+	// Budget bounds the evaluation; zero fields fall back to the
+	// server's default budget.
+	Budget *Budget `json:"budget,omitempty"`
+	// Query is the plan in wire IR form.
+	Query *Node `json:"query"`
+}
+
+// Budget is the wire form of engine.Budget.
+type Budget struct {
+	MaxNodes   int `json:"max_nodes,omitempty"`
+	MaxWork    int `json:"max_work,omitempty"`
+	MaxSamples int `json:"max_samples,omitempty"`
+	TimeoutMS  int `json:"timeout_ms,omitempty"`
+}
+
+// Engine converts to the engine's budget shape (nil means unlimited).
+func (b *Budget) Engine() engine.Budget {
+	if b == nil {
+		return engine.Budget{}
+	}
+	return engine.Budget{
+		MaxNodes:   b.MaxNodes,
+		MaxWork:    b.MaxWork,
+		MaxSamples: b.MaxSamples,
+		Timeout:    time.Duration(b.TimeoutMS) * time.Millisecond,
+	}
+}
+
+// Node is one wire-format plan operator; exactly one field must be set.
+// The tree mirrors the fluent builder one-to-one, and the backend
+// compiles it through the builder, so every misuse (unregistered
+// relation, out-of-range column, nested ranking, ...) surfaces with the
+// builder's own validation message as a 400.
+type Node struct {
+	// Scan reads a registered relation by name.
+	Scan string `json:"scan,omitempty"`
+	// Where keeps input tuples with Col op Value (a leaf filter when
+	// directly over a scan; forces the lineage route elsewhere).
+	Where *Where `json:"where,omitempty"`
+	// Join equi-joins two subtrees on left[LeftCol] = right[RightCol].
+	Join *Join `json:"join,omitempty"`
+	// JoinLess joins on left[LeftCol] < right[RightCol] — the structured
+	// inequality the IQ sorted-scan route recognizes.
+	JoinLess *Join `json:"join_less,omitempty"`
+	// Project narrows the schema to Cols.
+	Project *Unary `json:"project,omitempty"`
+	// GroupLineage terminates the relational chain: group by Cols, each
+	// group's lineage becomes the answer's DNF (empty Cols = the Boolean
+	// query).
+	GroupLineage *Unary `json:"group_lineage,omitempty"`
+	// TopK keeps the K most probable answers (outermost only).
+	TopK *TopK `json:"top_k,omitempty"`
+	// Threshold keeps the answers with P ≥ Tau (outermost only).
+	Threshold *Threshold `json:"threshold,omitempty"`
+}
+
+// Where is a column-literal comparison filter.
+type Where struct {
+	Input *Node `json:"input"`
+	Col   int   `json:"col"`
+	// Op is one of "eq", "ne", "lt", "le", "gt", "ge".
+	Op    string `json:"op"`
+	Value int64  `json:"value"`
+}
+
+// Join joins two wire subtrees on a column pair.
+type Join struct {
+	Left     *Node `json:"left"`
+	Right    *Node `json:"right"`
+	LeftCol  int   `json:"left_col"`
+	RightCol int   `json:"right_col"`
+}
+
+// Unary is a single-input operator with a column list.
+type Unary struct {
+	Input *Node `json:"input"`
+	Cols  []int `json:"cols"`
+}
+
+// TopK is the wire top-k root.
+type TopK struct {
+	Input *Node `json:"input"`
+	K     int   `json:"k"`
+}
+
+// Threshold is the wire threshold root.
+type Threshold struct {
+	Input *Node `json:"input"`
+	Tau   float64 `json:"tau"`
+}
+
+// Meta is the stream's first event: the query's identity and routing,
+// and the precision it actually runs at (Degraded marks an Eps widened
+// by admission control).
+type Meta struct {
+	ID       string   `json:"id"`
+	Session  string   `json:"session,omitempty"`
+	Explain  string   `json:"explain"`
+	Schema   []string `json:"schema,omitempty"`
+	Eps      float64  `json:"eps"`
+	Degraded bool     `json:"degraded,omitempty"`
+}
+
+// Answer is one streamed answer event. DecidedAtStep, on ranked
+// queries, is the scheduler's cumulative step count at the moment this
+// answer's membership was proven; an answer event whose DecidedAtStep
+// is strictly below the done event's steps was on the wire before the
+// query finished refining.
+type Answer struct {
+	Vals          []int64 `json:"vals"`
+	P             float64 `json:"p"`
+	Lo            float64 `json:"lo"`
+	Hi            float64 `json:"hi"`
+	Exact         bool    `json:"exact,omitempty"`
+	Converged     bool    `json:"converged,omitempty"`
+	DecidedAtStep int     `json:"decided_at_step,omitempty"`
+}
+
+// Summary is the stream's final (done) event.
+type Summary struct {
+	Answers    int    `json:"answers"`
+	Steps      int64  `json:"steps,omitempty"`
+	Route      string `json:"route,omitempty"`
+	WallMicros int64  `json:"wall_us"`
+	Error      string `json:"error,omitempty"`
+}
+
+// RunParams is what admission control decided for one query: its
+// assigned ID, the effective Eps (after any degradation), and the
+// evaluation budget.
+type RunParams struct {
+	ID       string
+	Eps      float64
+	Degraded bool
+	Budget   engine.Budget
+}
+
+// Sink receives a run's wire events in order: Meta once, then Answer
+// per streamed answer. A false return means the client is gone and the
+// run should stop (breaking the answer stream cancels the underlying
+// evaluation).
+type Sink interface {
+	Meta(Meta) bool
+	Answer(Answer) bool
+}
+
+// RunOutcome is a completed (or failed) run's bookkeeping: the done
+// event's summary and the execution's EXPLAIN ANALYZE trace for the
+// per-query debug endpoint.
+type RunOutcome struct {
+	Summary Summary
+	Trace   *obs.QueryTrace
+}
+
+// SessionClient is one affinity session's query executor: the backend
+// pins per-session state (probability and prepared-fragment caches)
+// inside it, and Run builds and executes one wire request against it.
+// Implementations must be safe for concurrent Runs — the soak profile
+// is N goroutines per named session.
+type SessionClient interface {
+	Run(ctx context.Context, req *Request, p RunParams, sink Sink) (RunOutcome, error)
+}
+
+// Backend is the query engine the server fronts. The root repro package
+// implements it over the DB → Session → Query façade (repro.NewServer);
+// the indirection keeps this package importable from the façade, so
+// serve options can be re-exported there.
+type Backend interface {
+	// OpenSession creates one affinity unit with fresh pinned state.
+	OpenSession() SessionClient
+	// Snapshot exports the engine metrics for GET /metrics.
+	Snapshot() obs.Snapshot
+}
+
+// RequestError is a request-level failure with an HTTP status — the
+// backend wraps query-build failures (the façade's BuildErrors) with
+// status 400, and the handler maps them onto the response before any
+// stream output has been written.
+type RequestError struct {
+	Status int
+	Err    error
+}
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the wrapped error to errors.As/Is.
+func (e *RequestError) Unwrap() error { return e.Err }

@@ -1,0 +1,55 @@
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"testing"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/pdb"
+)
+
+func expvarDemoDB(t *testing.T) *repro.DB {
+	t.Helper()
+	s := repro.NewSpace()
+	r := pdb.NewTupleIndependent(s, "R",
+		[]string{"k"}, [][]pdb.Value{{1}, {2}}, []float64{0.5, 0.5}, 1)
+	return repro.NewDB(s, r)
+}
+
+// TestServeExpvarRepublish pins the restart behavior of
+// DB.PublishExpvar: a service handler that rebuilds its DB and
+// publishes under the same name must not panic (expvar.Publish does on
+// duplicates), and the published variable must follow the latest DB.
+func TestServeExpvarRepublish(t *testing.T) {
+	const name = "test-repro-expvar-republish"
+	db1 := expvarDemoDB(t)
+	db1.PublishExpvar(name)
+	db1.PublishExpvar(name) // same DB twice: idempotent
+
+	db2 := expvarDemoDB(t)
+	db2.PublishExpvar(name) // a "restarted" DB reclaims the name
+
+	// Drive traffic through db2 only; the published var must reflect it.
+	sess := db2.Session()
+	if _, err := sess.Query("R").GroupLineage(0).All(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("expvar name not published")
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("published value is not a metrics snapshot: %v", err)
+	}
+	if snap.Queries != 1 {
+		t.Fatalf("published snapshot has %d queries, want 1 (rebound to db2)", snap.Queries)
+	}
+	if got := db1.Snapshot().Queries; got != 0 {
+		t.Fatalf("db1 unexpectedly recorded %d queries", got)
+	}
+}

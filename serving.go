@@ -1,0 +1,245 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/pdb"
+	"repro/internal/serve"
+)
+
+// NewServer wires a query service (internal/serve via the ServeConfig /
+// QueryServer re-exports) over a DB: POST /v1/query streams a wire-IR
+// query's answers as Server-Sent Events the moment each membership is
+// proven, named sessions pin probability and prepared-fragment caches
+// across requests, admission control degrades then sheds under
+// pressure, and GET /metrics // GET /v1/query/{id}/trace export the
+// DB's observability layer. Mount srv.Handler on any net/http server,
+// or srv.ListenAndServe(addr); stop with srv.Shutdown.
+//
+// The wire query IR mirrors the fluent builder one-to-one and is
+// compiled through it, so every misuse a Go caller would get as a
+// BuildError comes back as a 400 carrying the same message.
+func NewServer(db *DB, cfg serve.Config) *serve.Server {
+	return serve.New(&serveBackend{db: db, cfg: cfg}, cfg)
+}
+
+// serveBackend implements serve.Backend over a DB.
+type serveBackend struct {
+	db  *DB
+	cfg serve.Config
+}
+
+func (b *serveBackend) Snapshot() obs.Snapshot { return b.db.Snapshot() }
+
+// OpenSession creates one affinity unit: a private probability cache
+// and (unless the server shares one warm-started cache across all
+// sessions) a private prepared-fragment cache. The repro.Session
+// itself is created per request — sessions are cheap, and the
+// per-request one carries that request's effective Eps and budget over
+// these pinned caches.
+func (b *serveBackend) OpenSession() serve.SessionClient {
+	frags := b.cfg.SharedFrags
+	if frags == nil {
+		frags = NewFragCache(0)
+	}
+	return &serveClient{db: b.db, prob: NewProbCache(0), frags: frags}
+}
+
+// serveClient is serve.SessionClient over the façade.
+type serveClient struct {
+	db    *DB
+	prob  *ProbCache
+	frags *FragCache
+}
+
+func (c *serveClient) Run(ctx context.Context, req *serve.Request, p serve.RunParams, sink serve.Sink) (serve.RunOutcome, error) {
+	var tr *QueryTrace
+	opts := []SessionOption{
+		WithSharedCache(c.prob),
+		WithSharedFragCache(c.frags),
+		WithBudget(p.Budget),
+		WithTrace(func(t *QueryTrace) { tr = t }),
+	}
+	if p.Eps > 0 {
+		opts = append(opts, WithEps(p.Eps))
+	}
+	sess := c.db.Session(opts...)
+
+	q, err := compileWire(sess, req.Query)
+	if err != nil {
+		return serve.RunOutcome{}, &serve.RequestError{Status: 400, Err: err}
+	}
+	pr, err := q.Build()
+	if err != nil {
+		return serve.RunOutcome{}, &serve.RequestError{Status: 400, Err: err}
+	}
+
+	meta := serve.Meta{
+		ID: p.ID, Session: req.Session,
+		Explain: pr.Explain(), Schema: q.Schema(),
+		Eps: p.Eps, Degraded: p.Degraded,
+	}
+	if !sink.Meta(meta) {
+		if cerr := ctx.Err(); cerr != nil {
+			return serve.RunOutcome{}, cerr
+		}
+		return serve.RunOutcome{}, errors.New("client went away before the stream started")
+	}
+
+	// Stream: each proven answer goes to the sink as it is yielded; a
+	// refused answer means the client disconnected, and breaking the
+	// loop cancels the evaluation. The error, if any, is the stream's
+	// final element — partial results stay delivered.
+	var runErr error
+	answers := 0
+	for a, aerr := range pr.Run(ctx) {
+		if aerr != nil {
+			runErr = aerr
+			continue
+		}
+		answers++
+		if !sink.Answer(wireAnswer(a)) {
+			break
+		}
+	}
+
+	sum := serve.Summary{Answers: answers}
+	if tr != nil {
+		sum.Route = tr.Route
+		sum.WallMicros = tr.Wall.Microseconds()
+		if tr.Rank != nil {
+			sum.Steps = tr.Rank.Steps
+		}
+	}
+	if runErr != nil {
+		sum.Error = runErr.Error()
+	}
+	return serve.RunOutcome{Summary: sum, Trace: tr}, runErr
+}
+
+// wireAnswer converts a façade answer to the wire shape.
+func wireAnswer(a Answer) serve.Answer {
+	vals := make([]int64, len(a.Vals))
+	for i, v := range a.Vals {
+		vals[i] = int64(v)
+	}
+	return serve.Answer{
+		Vals: vals, P: a.P,
+		Lo: a.Res.Lo, Hi: a.Res.Hi,
+		Exact: a.Res.Exact, Converged: a.Res.Converged,
+		DecidedAtStep: a.DecidedAtStep,
+	}
+}
+
+// compileWire recursively translates a wire node into a fluent-builder
+// chain on sess. Wire-shape violations (no operator, several at once,
+// an unknown filter op) are reported as BuildErrors too, so the service
+// surfaces one uniform error vocabulary; everything the builder itself
+// validates — unknown relations, out-of-range columns, ranking
+// placement — is left to Build.
+func compileWire(sess *Session, n *serve.Node) (*Query, error) {
+	if n == nil {
+		return nil, &BuildError{Op: "wire", Reason: "missing query node"}
+	}
+	set := 0
+	for _, on := range []bool{
+		n.Scan != "", n.Where != nil, n.Join != nil, n.JoinLess != nil,
+		n.Project != nil, n.GroupLineage != nil, n.TopK != nil, n.Threshold != nil,
+	} {
+		if on {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, &BuildError{Op: "wire", Reason: fmt.Sprintf("a query node must set exactly one operator, got %d", set)}
+	}
+	sub := func(in *serve.Node) (*Query, error) { return compileWire(sess, in) }
+	switch {
+	case n.Scan != "":
+		return sess.Query(n.Scan), nil
+	case n.Where != nil:
+		in, err := sub(n.Where.Input)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := wherePred(in, n.Where)
+		if err != nil {
+			return nil, err
+		}
+		return in.Select(pred), nil
+	case n.Join != nil:
+		l, err := sub(n.Join.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sub(n.Join.Right)
+		if err != nil {
+			return nil, err
+		}
+		return l.Join(r, n.Join.LeftCol, n.Join.RightCol), nil
+	case n.JoinLess != nil:
+		l, err := sub(n.JoinLess.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sub(n.JoinLess.Right)
+		if err != nil {
+			return nil, err
+		}
+		return l.JoinLess(r, n.JoinLess.LeftCol, n.JoinLess.RightCol), nil
+	case n.Project != nil:
+		in, err := sub(n.Project.Input)
+		if err != nil {
+			return nil, err
+		}
+		return in.Project(n.Project.Cols...), nil
+	case n.GroupLineage != nil:
+		in, err := sub(n.GroupLineage.Input)
+		if err != nil {
+			return nil, err
+		}
+		return in.GroupLineage(n.GroupLineage.Cols...), nil
+	case n.TopK != nil:
+		in, err := sub(n.TopK.Input)
+		if err != nil {
+			return nil, err
+		}
+		return in.TopK(n.TopK.K), nil
+	default:
+		in, err := sub(n.Threshold.Input)
+		if err != nil {
+			return nil, err
+		}
+		return in.Threshold(n.Threshold.Tau), nil
+	}
+}
+
+// wherePred compiles a wire filter into a tuple predicate. The column
+// is validated here against the input schema — the predicate closure
+// indexes tuples at evaluation time, far from any validation the
+// builder could do on an opaque func.
+func wherePred(in *Query, w *serve.Where) (func([]pdb.Value) bool, error) {
+	if sch := in.Schema(); sch != nil && (w.Col < 0 || w.Col >= len(sch)) {
+		return nil, &BuildError{Op: "wire", Reason: fmt.Sprintf("where column %d out of range [0, %d)", w.Col, len(sch))}
+	}
+	col, val := w.Col, pdb.Value(w.Value)
+	switch w.Op {
+	case "eq":
+		return func(v []pdb.Value) bool { return v[col] == val }, nil
+	case "ne":
+		return func(v []pdb.Value) bool { return v[col] != val }, nil
+	case "lt":
+		return func(v []pdb.Value) bool { return v[col] < val }, nil
+	case "le":
+		return func(v []pdb.Value) bool { return v[col] <= val }, nil
+	case "gt":
+		return func(v []pdb.Value) bool { return v[col] > val }, nil
+	case "ge":
+		return func(v []pdb.Value) bool { return v[col] >= val }, nil
+	default:
+		return nil, &BuildError{Op: "wire", Reason: fmt.Sprintf("unknown where op %q (want eq, ne, lt, le, gt or ge)", w.Op)}
+	}
+}
