@@ -24,7 +24,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -32,10 +31,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/fault"
 	"repro/internal/pdb"
 	"repro/internal/tpch"
 )
@@ -56,6 +58,9 @@ func main() {
 		fragPath    = flag.String("fragcache", "", "persist the shared prepared-fragment cache at this path")
 		expvarName  = flag.String("expvar", "reprod", "expvar name for the engine snapshot (empty disables)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		watchdog    = flag.Duration("watchdog", 0, "stuck-query watchdog: fail ranked runs making no bound progress for this long (0 = off)")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0 = off)")
+		chaosSpec   = flag.String("chaos", "", "per-site fault probabilities, 'site:kind=p,kind=p;site:…' with sites eval.step|leaf.prepare|cache.lookup|shard.merge|sse.flush and kinds panic|error|cancel|latency|latency_ms (empty = a mild default schedule)")
 	)
 	flag.Parse()
 
@@ -72,6 +77,14 @@ func main() {
 		frags = loadFrags(*fragPath)
 	}
 
+	inj, err := buildInjector(*chaosSeed, *chaosSpec)
+	if err != nil {
+		log.Fatalf("reprod: %v", err)
+	}
+	if inj != nil {
+		log.Printf("reprod: CHAOS ARMED (seed %d): deterministic fault injection is live — not a production configuration", *chaosSeed)
+	}
+
 	srv := repro.NewServer(db, repro.ServeConfig{
 		DefaultEps:    *eps,
 		DegradedEps:   *degradedEps,
@@ -80,6 +93,8 @@ func main() {
 		DegradeAt:     *degradeAt,
 		SessionTTL:    *sessionTTL,
 		SharedFrags:   frags,
+		Inject:        inj,
+		Watchdog:      *watchdog,
 		Logf:          log.Printf,
 	})
 	if *expvarName != "" {
@@ -141,50 +156,111 @@ func buildDataset(name string, sf, probHigh float64, seed int64) (*repro.DB, err
 	}
 }
 
-// loadFrags warm-starts the shared fragment cache from path; any
-// failure (missing file, stale version, corrupt stream) is a cold
-// start, never a startup error.
+// loadFrags warm-starts the shared fragment cache from path. Anything
+// short of a complete, checksum-verified, current-version save —
+// missing file, version skew, truncation, corruption — is a cold
+// start, never a startup error: the cache loads empty and the daemon
+// rebuilds it.
 func loadFrags(path string) *repro.FragCache {
-	f, err := os.Open(path)
+	c, err := repro.LoadFragCacheFile(path, 0)
 	if err != nil {
-		if !errors.Is(err, os.ErrNotExist) {
-			log.Printf("reprod: fragcache %s: %v (cold start)", path, err)
-		}
-		return repro.NewFragCache(0)
+		log.Printf("reprod: fragcache %s: %v (cold start)", path, err)
+		return c
 	}
-	defer f.Close()
-	c, err := repro.LoadFragCache(f, 0)
-	if err != nil {
-		log.Printf("reprod: fragcache %s: %v (partial warm start)", path, err)
+	if n := c.CacheStats().Entries; n > 0 {
+		log.Printf("reprod: fragcache %s: %d prepared fragments loaded", path, n)
+	} else {
+		log.Printf("reprod: fragcache %s: cold start", path)
 	}
-	stats := c.CacheStats()
-	log.Printf("reprod: fragcache %s: %d prepared fragments loaded", path, stats.Entries)
 	return c
 }
 
-// saveFrags persists the shared fragment cache via a temp-file rename,
-// so a crash mid-save never corrupts the previous snapshot.
+// saveFrags persists the shared fragment cache; SaveFile's temp-file
+// rename means a crash mid-save never corrupts the previous snapshot.
 func saveFrags(path string, c *repro.FragCache) {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		log.Printf("reprod: fragcache save: %v", err)
-		return
-	}
-	if err := c.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		log.Printf("reprod: fragcache save: %v", err)
-		return
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		log.Printf("reprod: fragcache save: %v", err)
-		return
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := c.SaveFile(path); err != nil {
 		log.Printf("reprod: fragcache save: %v", err)
 		return
 	}
 	log.Printf("reprod: fragcache saved to %s (%d entries)", path, c.CacheStats().Entries)
+}
+
+// chaosSites is the injectable-site vocabulary, for -chaos validation.
+var chaosSites = []string{
+	fault.SiteEvalStep, fault.SiteLeafPrepare, fault.SiteCacheLookup,
+	fault.SiteShardMerge, fault.SiteSSEFlush,
+}
+
+// buildInjector arms fault injection from the -chaos-seed / -chaos
+// flags. Seed 0 disables injection entirely (nil injector, nil-safe
+// probes everywhere). An empty spec arms a mild default schedule:
+// sparse injected errors and latency at every engine site, plus rare
+// panics at sse.flush — enough to exercise every containment path
+// without drowning real traffic.
+func buildInjector(seed int64, spec string) (*repro.FaultInjector, error) {
+	if seed == 0 {
+		if spec != "" {
+			return nil, fmt.Errorf("-chaos needs -chaos-seed (seed 0 keeps injection off)")
+		}
+		return nil, nil
+	}
+	inj := repro.NewFaultInjector(seed)
+	if spec == "" {
+		for _, site := range chaosSites {
+			inj.Configure(site, repro.FaultSiteConfig{
+				Error: 0.002, Latency: 0.01, LatencyDur: 2 * time.Millisecond,
+			})
+		}
+		inj.Configure(fault.SiteSSEFlush, repro.FaultSiteConfig{
+			Panic: 0.001, Latency: 0.01, LatencyDur: 2 * time.Millisecond,
+		})
+		return inj, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, kvs, ok := strings.Cut(part, ":")
+		site = strings.TrimSpace(site)
+		if !ok || !validChaosSite(site) {
+			return nil, fmt.Errorf("-chaos: bad site in %q (want one of %s)", part, strings.Join(chaosSites, ", "))
+		}
+		var cfg repro.FaultSiteConfig
+		for _, kv := range strings.Split(kvs, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("-chaos: bad setting %q in %q", kv, part)
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				return nil, fmt.Errorf("-chaos: bad value %q in %q", v, part)
+			}
+			switch k {
+			case "panic":
+				cfg.Panic = f
+			case "error":
+				cfg.Error = f
+			case "cancel":
+				cfg.Cancel = f
+			case "latency":
+				cfg.Latency = f
+			case "latency_ms":
+				cfg.LatencyDur = time.Duration(f * float64(time.Millisecond))
+			default:
+				return nil, fmt.Errorf("-chaos: unknown fault kind %q in %q", k, part)
+			}
+		}
+		inj.Configure(site, cfg)
+	}
+	return inj, nil
+}
+
+func validChaosSite(site string) bool {
+	for _, s := range chaosSites {
+		if s == site {
+			return true
+		}
+	}
+	return false
 }

@@ -93,6 +93,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/formula"
 	"repro/internal/mc"
 	"repro/internal/obs"
@@ -258,12 +259,52 @@ type (
 
 // Serving-layer entry points.
 var (
-	// SaveFragCache / LoadFragCache persist a prepared-fragment cache
-	// across process restarts (gob, version-stamped; a stale or corrupt
-	// stream loads as an empty cache — a cold start, not an error). Wire
-	// a loaded cache into ServeConfig.SharedFrags (or any session via
+	// FragCache.Save / LoadFragCache persist a prepared-fragment cache
+	// across process restarts (gob, version-stamped and
+	// CRC32-checksummed; a stale, truncated or corrupt stream loads as
+	// an empty cache — a cold start, not an error). Wire a loaded cache
+	// into ServeConfig.SharedFrags (or any session via
 	// WithSharedFragCache) to warm-start leaf preparation.
 	LoadFragCache = formula.LoadFragCache
+	// LoadFragCacheFile is LoadFragCache over a file path (a missing
+	// file is a silent cold start); FragCache.SaveFile is its crash-safe
+	// writing counterpart (temp file + rename, so a kill mid-save leaves
+	// the previous snapshot intact).
+	LoadFragCacheFile = formula.LoadFragCacheFile
+)
+
+// Fault isolation and chaos types: panic containment, the stuck-query
+// watchdog, and deterministic fault injection (see the README's
+// Robustness section). Production code never touches these — a nil
+// injector costs a single nil check per probe site.
+type (
+	// FaultInjector is the seeded, deterministic fault injector: arm it
+	// with WithInjector (per session) or ServeConfig.Inject (whole
+	// daemon) and it fires configured faults — panics, errors, spurious
+	// cancellations, latency — at the named chaos sites. The outcome of
+	// the k-th firing at a site is a pure function of (seed, site, k).
+	FaultInjector = fault.Injector
+	// FaultSiteConfig is one site's fault probabilities.
+	FaultSiteConfig = fault.SiteConfig
+	// PanicError is a recovered panic promoted into the error plumbing:
+	// the panic value, the goroutine stack at capture, the containment
+	// site, and the query it failed. Every contained panic — a workpool
+	// task, a refinement step, a serving-layer stream — surfaces as one
+	// of these through ordinary error returns.
+	PanicError = fault.PanicError
+)
+
+// Fault-layer entry points.
+var (
+	// NewFaultInjector returns a disarmed injector; Configure sites to
+	// arm it.
+	NewFaultInjector = fault.NewInjector
+	// ErrFaultInjected marks errors synthesized by a FaultInjector
+	// (errors.Is-able through every wrapping layer).
+	ErrFaultInjected = fault.ErrInjected
+	// ErrQueryStuck is the stuck-query watchdog's verdict: a ranked run
+	// made no bound progress within the WithWatchdog deadline.
+	ErrQueryStuck = fault.ErrStuck
 )
 
 // Planner routes.

@@ -16,14 +16,48 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/formula"
 	"repro/internal/pdb"
 )
+
+// postWithRetry POSTs the query, retrying on 429 (admission shed) and
+// 503 (draining) with exponential backoff — the client half of the
+// server's overload contract. The server's Retry-After header, when
+// present, floors each wait; jitter keeps a herd of shed clients from
+// re-arriving in lockstep.
+func postWithRetry(url, body string, attempts int) (*http.Response, error) {
+	backoff := 100 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		if attempt >= attempts {
+			return resp, nil // caller sees the final overload response
+		}
+		wait := backoff + time.Duration(rand.Int63n(int64(backoff)))
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			if ra := time.Duration(s) * time.Second; ra > wait {
+				wait = ra
+			}
+		}
+		resp.Body.Close()
+		fmt.Printf("overloaded (%s), retry %d in %v\n", resp.Status, attempt, wait)
+		time.Sleep(wait)
+		backoff *= 2
+	}
+}
 
 func main() {
 	// ------------------------------------------------------------------
@@ -72,7 +106,7 @@ func main() {
 	          "right": {"scan": "disputes"}}}}}}}}}
 	}`
 
-	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(query))
+	resp, err := postWithRetry(base+"/v1/query", query, 5)
 	if err != nil {
 		panic(err)
 	}
@@ -80,10 +114,13 @@ func main() {
 	fmt.Println("status:", resp.Status, "content-type:", resp.Header.Get("Content-Type"))
 
 	// ------------------------------------------------------------------
-	// 3. Stream: SSE is lines of "event: <name>" / "data: <json>". The
-	//    query id in the meta event addresses the trace endpoint later.
+	// 3. Stream: SSE is lines of "event: <name>" / "data: <json>", plus
+	//    an "id: <query>/<n>" cursor on each answer event (the resume
+	//    marker a reconnecting EventSource would send back) and a one-off
+	//    "retry:" reconnection hint. The query id in the meta event
+	//    addresses the trace endpoint later.
 	// ------------------------------------------------------------------
-	var queryID string
+	var queryID, lastEventID string
 	sc := bufio.NewScanner(resp.Body)
 	event := ""
 	for sc.Scan() {
@@ -91,6 +128,10 @@ func main() {
 		switch {
 		case strings.HasPrefix(line, "event: "):
 			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			lastEventID = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "retry: "):
+			fmt.Println("server reconnect hint:", strings.TrimPrefix(line, "retry: "), "ms")
 		case strings.HasPrefix(line, "data: "):
 			data := strings.TrimPrefix(line, "data: ")
 			fmt.Printf("%-6s %s\n", event, data)
@@ -105,6 +146,7 @@ func main() {
 	if err := sc.Err(); err != nil {
 		panic(err)
 	}
+	fmt.Println("last answer event id:", lastEventID)
 
 	// ------------------------------------------------------------------
 	// 4. Afterlife: EXPLAIN ANALYZE of the finished query, and the

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/formula"
 	"repro/internal/obs"
 	"repro/internal/workpool"
@@ -85,6 +86,12 @@ type Options struct {
 	// atomic counting; nil (the default, and what the benchmarks run
 	// with) costs a single predictable branch per event.
 	Metrics *obs.Metrics
+
+	// Inject, when non-nil, fires deterministic faults at the named
+	// chaos sites on this evaluation's paths (evaluator step, leaf
+	// prepare, cache lookup). Nil — the production default — costs one
+	// pointer test per site, mirroring Metrics.
+	Inject *fault.Injector
 
 	// Ablation switches (all false in the paper's configuration).
 	DisableClosing     bool // never close leaves (Section V-D off)
@@ -248,6 +255,11 @@ type state struct {
 	budgetHit atomic.Bool
 	hits      atomic.Int64
 	misses    atomic.Int64
+	// poisoned marks the evaluation as doomed: a sibling pool task
+	// panicked and the batch is unwinding, so every context poll reports
+	// cancellation and workers drain at the next stride instead of
+	// running their full course (see Pool.RunAbort).
+	poisoned atomic.Bool
 
 	closed         int
 	done           bool
@@ -300,6 +312,10 @@ func (st *state) prepare(d formula.DNF) frag {
 // reference rerun (PreparedFrag.Work) so MaxWork budget traces stay
 // identical with and without the cache.
 func (st *state) prepareAs(d formula.DNF, normalized, reduced bool) frag {
+	// Chaos site: prepareAs has no error return, so every injected
+	// fault surfaces as a panic and unwinds to the nearest containment
+	// point (NewRefiner, the pool wrapper, or pdb's per-answer recover).
+	st.opt.Inject.FirePanic(fault.SiteLeafPrepare)
 	if st.opt.refPrepare {
 		return st.prepareRef(d)
 	}
@@ -371,6 +387,11 @@ func (st *state) cachedProbErr(d formula.DNF, compute func() (float64, error)) (
 	if c == nil || len(d) <= 1 {
 		return compute()
 	}
+	// Chaos site: cachedProb swallows errors by design (a miss just
+	// recomputes), so a returned injected error would silently corrupt
+	// the probability — FirePanic turns every fault into a contained
+	// panic instead.
+	st.opt.Inject.FirePanic(fault.SiteCacheLookup)
 	if p, ok := c.Lookup(d); ok {
 		st.hits.Add(1)
 		st.opt.Metrics.RecordProbCache(true)
@@ -384,6 +405,32 @@ func (st *state) cachedProbErr(d formula.DNF, compute func() (float64, error)) (
 	}
 	c.Store(d, p)
 	return p, nil
+}
+
+// interrupted reports why evaluation should stop early: a sibling pool
+// task's contained panic (poisoned — reported as context.Canceled so
+// the batch drains promptly and the panic, rethrown by the pool, is the
+// error that surfaces) or the caller's context.
+func (st *state) interrupted() error {
+	if st.poisoned.Load() {
+		return context.Canceled
+	}
+	return st.ctx.Err()
+}
+
+// poison is the RunAbort hook: flips every subsequent interrupted()
+// poll on this evaluation to cancelled.
+func (st *state) poison() { st.poisoned.Store(true) }
+
+// interruptedOrInjected is the per-step poll: interruption first, then
+// the eval.step chaos site (injected errors stop evaluation exactly
+// like organic ones; injected panics unwind to the nearest containment
+// point).
+func (st *state) interruptedOrInjected() error {
+	if err := st.interrupted(); err != nil {
+		return err
+	}
+	return st.opt.Inject.Fire(fault.SiteEvalStep)
 }
 
 func (st *state) cond(lo, hi float64) bool {
@@ -442,7 +489,7 @@ func (st *state) explore(f frag, cx bctx) (lo, hi float64) {
 		st.doneLo, st.doneHi = gLo, gHi
 		return f.lo, f.hi
 	}
-	if err := st.ctx.Err(); err != nil {
+	if err := st.interruptedOrInjected(); err != nil {
 		st.done = true
 		st.cancelErr = err
 		st.doneLo, st.doneHi = gLo, gHi
@@ -702,7 +749,7 @@ func (st *state) exactRec(d formula.DNF) (float64, error) {
 	// context's mutex. The first node still polls, so a dead context
 	// fails fast.
 	if n := st.nodes.Add(1); n%exactCtxStride == 1 {
-		if err := st.ctx.Err(); err != nil {
+		if err := st.interruptedOrInjected(); err != nil {
 			return 0, err
 		}
 	}

@@ -49,7 +49,7 @@ func (st *state) exactChildren(subs []formula.DNF) ([]float64, error) {
 	for i := range subs {
 		tasks[i] = func() { ps[i], errs[i] = st.exactRec(subs[i]) }
 	}
-	st.opt.Pool.Run(tasks...)
+	st.opt.Pool.RunAbort(st.poison, tasks...)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -76,6 +76,6 @@ func (st *state) prepareAll(subs []formula.DNF, normalized, reduced bool) []frag
 	for i := range subs {
 		tasks[i] = func() { frags[i] = st.prepareAs(subs[i], normalized, reduced) }
 	}
-	st.opt.Pool.Run(tasks...)
+	st.opt.Pool.RunAbort(st.poison, tasks...)
 	return frags
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/fault"
 	"repro/internal/formula"
 )
 
@@ -58,13 +59,26 @@ type Refiner struct {
 // starts with) and returns a Refiner positioned before the first
 // refinement step. A formula whose prepared bounds already meet the
 // Options guarantee is Done immediately with zero steps taken.
-func NewRefiner(ctx context.Context, s *formula.Space, d formula.DNF, opt Options) *Refiner {
+func NewRefiner(ctx context.Context, s *formula.Space, d formula.DNF, opt Options) (r *Refiner) {
 	st := newState(ctx, s, opt)
-	r := &Refiner{st: st, lo: 0, hi: 1, ref: opt.refScan}
+	r = &Refiner{st: st, lo: 0, hi: 1, ref: opt.refScan}
 	if err := st.ctx.Err(); err != nil {
 		r.fail(err)
 		return r
 	}
+	// Preparation runs arbitrary normalization/bounds code (and the
+	// leaf.prepare chaos site); a panic here must fail this refiner —
+	// one answer — not the whole ranked batch, so it is contained into
+	// the refiner's error exactly like a cancellation.
+	defer func() {
+		if v := recover(); v != nil {
+			pe, first := fault.Promote(v, "core.prepare")
+			if first {
+				opt.Metrics.RecordPanicRecovered()
+			}
+			r.fail(pe)
+		}
+	}()
 	f := st.prepare(d)
 	r.root = &gNode{frag: f, lo: f.lo, hi: f.hi}
 	if !r.ref && !f.exact {
@@ -86,7 +100,7 @@ func (r *Refiner) Step(budget int) (lo, hi float64, done bool) {
 		budget = 1
 	}
 	for i := 0; i < budget && !r.done; i++ {
-		if err := r.st.ctx.Err(); err != nil {
+		if err := r.st.interruptedOrInjected(); err != nil {
 			r.fail(err)
 			break
 		}
@@ -189,3 +203,8 @@ func (r *Refiner) fail(err error) {
 		r.st.cancelErr = err
 	}
 }
+
+// Abort stops refinement with err (retrievable via Err), exactly as if
+// the context had fired. The rank scheduler uses it to fail a single
+// answer whose refinement panicked without unwinding the whole run.
+func (r *Refiner) Abort(err error) { r.fail(err) }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/formula"
 	"repro/internal/mc"
 	"repro/internal/obs"
@@ -153,6 +154,9 @@ type Exact struct {
 	// Metrics, when non-nil, receives the evaluation's cache traffic
 	// and budget exhaustions (nil-safe, see obs.Metrics).
 	Metrics *obs.Metrics
+	// Inject, when non-nil, fires deterministic faults at the core
+	// chaos sites (nil-safe, see fault.Injector).
+	Inject *fault.Injector
 }
 
 // Evaluate implements Evaluator.
@@ -163,7 +167,7 @@ func (e Exact) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (R
 		Order:    e.Order,
 		MaxNodes: e.Budget.MaxNodes, MaxWork: e.Budget.MaxWork,
 		Cache: e.Cache, Sequential: e.Sequential, Pool: e.Pool,
-		Metrics: e.Metrics,
+		Metrics: e.Metrics, Inject: e.Inject,
 	})
 	return fromCore(res), err
 }
@@ -195,6 +199,9 @@ type Approx struct {
 	// Metrics, when non-nil, receives the evaluation's cache traffic
 	// and budget exhaustions (nil-safe, see obs.Metrics).
 	Metrics *obs.Metrics
+	// Inject, when non-nil, fires deterministic faults at the core
+	// chaos sites (nil-safe, see fault.Injector).
+	Inject *fault.Injector
 	// Global selects the materialized largest-interval-first variant.
 	Global bool
 }
@@ -207,7 +214,7 @@ func (e Approx) Evaluate(ctx context.Context, s *formula.Space, d formula.DNF) (
 		Eps: e.Eps, Kind: e.Kind, Order: e.Order,
 		MaxNodes: e.Budget.MaxNodes, MaxWork: e.Budget.MaxWork,
 		Cache: e.Cache, Frags: e.Frags, Sequential: e.Sequential, Pool: e.Pool,
-		Metrics: e.Metrics,
+		Metrics: e.Metrics, Inject: e.Inject,
 	}
 	var res core.Result
 	var err error

@@ -1,25 +1,43 @@
 package formula
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
 )
 
-// The FragCache disk format is a gob stream: a header first, then the
-// entry count, then one fragEntryGob per memoized fragment. The header
-// carries a magic string and a format version; LoadFragCache treats any
-// mismatch as "no warm state" rather than an error, so a daemon
-// restarting across an incompatible upgrade falls back to a cold cache
-// instead of refusing to start.
+// The FragCache disk format is a gob stream: a header first, then one
+// body record holding the CRC32 checksum and the gob-encoded entry
+// payload. The header carries a magic string and a format version;
+// LoadFragCache treats any mismatch — wrong magic, older or newer
+// version, checksum failure, truncation — as "no warm state" rather
+// than an error, so a daemon restarting across an incompatible upgrade
+// or a torn write falls back to a cold cache instead of refusing to
+// start or (worse) warm-starting from corrupt decompositions.
+//
+// Version history: v1 had no checksum; v2 wraps the entry stream in a
+// CRC32-checksummed payload. v1 files load as a cold start.
 const (
 	fragCacheMagic   = "repro.fragcache"
-	fragCacheVersion = 1
+	fragCacheVersion = 2
 )
 
 type fragHeaderGob struct {
 	Magic   string
 	Version int
+}
+
+// fragBodyGob is the v2 body: the IEEE CRC32 of Payload, then the
+// payload itself — an inner gob stream of the entry count followed by
+// that many fragEntryGob records. Checksumming the already-encoded
+// bytes keeps verification independent of gob's type negotiation: the
+// sum either matches the exact bytes written or the file is discarded.
+type fragBodyGob struct {
+	Sum     uint32
+	Payload []byte
 }
 
 type fragEntryGob struct {
@@ -34,12 +52,13 @@ type fragEntryGob struct {
 	Comps [][]int
 }
 
-// Save writes the cache's memoized fragments to w in the versioned gob
-// format LoadFragCache reads — the warm-start path for a long-lived
-// query service: persist the prepared-fragment cache at shutdown, load
-// it at startup, and the first queries after a restart skip leaf
-// preparation exactly as if the process had never died. Traffic
-// counters (hits/misses) are process-local and not persisted.
+// Save writes the cache's memoized fragments to w in the versioned,
+// CRC32-checksummed gob format LoadFragCache reads — the warm-start
+// path for a long-lived query service: persist the prepared-fragment
+// cache at shutdown, load it at startup, and the first queries after a
+// restart skip leaf preparation exactly as if the process had never
+// died. Traffic counters (hits/misses) are process-local and not
+// persisted.
 //
 // Save snapshots the entry set under the cache's read lock; entries
 // stored concurrently with the snapshot may or may not be included.
@@ -54,11 +73,9 @@ func (c *FragCache) Save(w io.Writer) error {
 	}
 	c.mu.RUnlock()
 
-	enc := gob.NewEncoder(w)
-	if err := enc.Encode(fragHeaderGob{Magic: fragCacheMagic, Version: fragCacheVersion}); err != nil {
-		return fmt.Errorf("formula: FragCache.Save header: %w", err)
-	}
-	if err := enc.Encode(len(entries)); err != nil {
+	var payload bytes.Buffer
+	penc := gob.NewEncoder(&payload)
+	if err := penc.Encode(len(entries)); err != nil {
 		return fmt.Errorf("formula: FragCache.Save count: %w", err)
 	}
 	for _, e := range entries {
@@ -74,21 +91,62 @@ func (c *FragCache) Save(w io.Writer) error {
 		if comps, ok := e.frag.Components(); ok {
 			g.Comps = comps
 		}
-		if err := enc.Encode(g); err != nil {
+		if err := penc.Encode(g); err != nil {
 			return fmt.Errorf("formula: FragCache.Save entry: %w", err)
 		}
+	}
+
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(fragHeaderGob{Magic: fragCacheMagic, Version: fragCacheVersion}); err != nil {
+		return fmt.Errorf("formula: FragCache.Save header: %w", err)
+	}
+	body := fragBodyGob{Sum: crc32.ChecksumIEEE(payload.Bytes()), Payload: payload.Bytes()}
+	if err := enc.Encode(body); err != nil {
+		return fmt.Errorf("formula: FragCache.Save body: %w", err)
+	}
+	return nil
+}
+
+// SaveFile persists the cache to path crash-safely: the bytes are
+// written to a sibling temp file, synced, and renamed over path, so a
+// process killed mid-save leaves the previous snapshot intact — the
+// file at path is always a complete save (which LoadFragCache then
+// verifies by checksum).
+func (c *FragCache) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("formula: FragCache.SaveFile: %w", err)
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("formula: FragCache.SaveFile sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("formula: FragCache.SaveFile close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("formula: FragCache.SaveFile rename: %w", err)
 	}
 	return nil
 }
 
 // LoadFragCache reads a cache saved by Save into a fresh FragCache
 // bounded at maxEntries (<= 0 means DefaultFragCacheEntries; entries
-// beyond the bound are dropped). A header mismatch — wrong magic or a
-// different format version — returns an empty cache and a nil error:
-// stale warm-start state from an older build is discarded, not fatal.
-// A stream that matches the header but is truncated or corrupt returns
-// the entries decoded so far alongside the error, so callers may still
-// choose to use the partial cache.
+// beyond the bound are dropped). The cold-start contract: a stream
+// that is not a current-version fragcache save — wrong magic, version
+// skew, truncation, a checksum mismatch from a flipped byte — yields
+// an EMPTY cache, never a partial or corrupt one. The returned cache
+// is always usable; the error, when non-nil, only explains why the
+// start is cold (callers typically log it and carry on).
 func LoadFragCache(r io.Reader, maxEntries int) (*FragCache, error) {
 	c := NewFragCache(maxEntries)
 	dec := gob.NewDecoder(r)
@@ -97,16 +155,27 @@ func LoadFragCache(r io.Reader, maxEntries int) (*FragCache, error) {
 		return c, nil // not a fragcache stream at all: cold start
 	}
 	if h.Magic != fragCacheMagic || h.Version != fragCacheVersion {
-		return c, nil // version mismatch: cold start
+		return c, nil // version skew (including v1 saves): cold start
 	}
+	var body fragBodyGob
+	if err := dec.Decode(&body); err != nil {
+		return c, fmt.Errorf("formula: LoadFragCache body (truncated save?): %w", err)
+	}
+	if sum := crc32.ChecksumIEEE(body.Payload); sum != body.Sum {
+		return c, fmt.Errorf("formula: LoadFragCache checksum mismatch (%08x != %08x): corrupt save", sum, body.Sum)
+	}
+	pdec := gob.NewDecoder(bytes.NewReader(body.Payload))
 	var n int
-	if err := dec.Decode(&n); err != nil {
-		return c, fmt.Errorf("formula: LoadFragCache count: %w", err)
+	if err := pdec.Decode(&n); err != nil {
+		return NewFragCache(maxEntries), fmt.Errorf("formula: LoadFragCache count: %w", err)
 	}
 	for i := 0; i < n; i++ {
 		var g fragEntryGob
-		if err := dec.Decode(&g); err != nil {
-			return c, fmt.Errorf("formula: LoadFragCache entry %d of %d: %w", i, n, err)
+		if err := pdec.Decode(&g); err != nil {
+			// The checksum matched, so this is an encoder-side bug, not
+			// disk corruption — still cold-start rather than trust a
+			// half-decoded cache.
+			return NewFragCache(maxEntries), fmt.Errorf("formula: LoadFragCache entry %d of %d: %w", i, n, err)
 		}
 		f := &PreparedFrag{D: g.D, Lo: g.Lo, Hi: g.Hi, Exact: g.Exact, Work: g.Work}
 		if g.Comps != nil {
@@ -115,4 +184,20 @@ func LoadFragCache(r io.Reader, maxEntries int) (*FragCache, error) {
 		c.Store(g.Key, g.Variant, f)
 	}
 	return c, nil
+}
+
+// LoadFragCacheFile is LoadFragCache over a file path, folding "no
+// such file" into the cold-start contract: a missing file returns an
+// empty cache and a nil error, any other open failure an empty cache
+// and the failure.
+func LoadFragCacheFile(path string, maxEntries int) (*FragCache, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return NewFragCache(maxEntries), nil
+		}
+		return NewFragCache(maxEntries), fmt.Errorf("formula: LoadFragCacheFile: %w", err)
+	}
+	defer f.Close()
+	return LoadFragCache(f, maxEntries)
 }

@@ -3,6 +3,7 @@ package formula
 import (
 	"bytes"
 	"encoding/gob"
+	"os"
 	"testing"
 )
 
@@ -96,22 +97,90 @@ func TestFragCacheLoadVersionMismatchFallsBackEmpty(t *testing.T) {
 	}
 }
 
-func TestFragCacheLoadTruncatedReturnsPartialAndError(t *testing.T) {
+func TestFragCacheLoadTruncatedColdStart(t *testing.T) {
+	// Truncation at every suffix length: whatever byte the crash cut the
+	// save at, the load must come back empty (cold start) and usable —
+	// never a partial or corrupt warm state.
 	c, _ := persistTestCache(t)
 	var buf bytes.Buffer
 	if err := c.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	cut := buf.Bytes()[:buf.Len()-10]
-	loaded, err := LoadFragCache(bytes.NewReader(cut), 0)
-	if err == nil {
-		t.Fatal("truncated stream must report an error")
+	for _, cutAt := range []int{buf.Len() - 1, buf.Len() - 10, buf.Len() / 2, 20, 1} {
+		loaded, err := LoadFragCache(bytes.NewReader(buf.Bytes()[:cutAt]), 0)
+		if loaded == nil {
+			t.Fatalf("cut at %d: no usable cache returned", cutAt)
+		}
+		if loaded.Len() != 0 {
+			t.Fatalf("cut at %d: loaded %d entries, want a cold (empty) cache (err %v)", cutAt, loaded.Len(), err)
+		}
 	}
-	if loaded == nil {
-		t.Fatal("truncated stream must still return a usable cache")
+}
+
+func TestFragCacheLoadFlippedByteColdStart(t *testing.T) {
+	// A single flipped payload byte must fail the checksum and cold-start
+	// rather than warm-start from corrupt decompositions. Bytes near the
+	// start flip the header instead — also a cold start, via the magic or
+	// version check — so every position is corruption-safe.
+	c, _ := persistTestCache(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
 	}
-	if loaded.Len() >= c.Len() {
-		t.Fatalf("truncated stream decoded %d entries, want fewer than %d", loaded.Len(), c.Len())
+	for _, pos := range []int{5, 40, buf.Len() / 2, buf.Len() - 3} {
+		raw := bytes.Clone(buf.Bytes())
+		raw[pos] ^= 0x40
+		loaded, err := LoadFragCache(bytes.NewReader(raw), 0)
+		if loaded == nil {
+			t.Fatalf("flip at %d: no usable cache returned", pos)
+		}
+		if loaded.Len() != 0 {
+			t.Fatalf("flip at %d: loaded %d entries, want a cold (empty) cache (err %v)", pos, loaded.Len(), err)
+		}
+	}
+}
+
+func TestFragCacheSaveFileCrashLeavesOldSnapshotIntact(t *testing.T) {
+	// SaveFile's tmp+rename contract: a save that dies mid-write only
+	// ever touches the sibling .tmp file, so the last complete snapshot
+	// at path stays loadable. Simulated by planting a torn .tmp (what a
+	// killed save leaves behind) next to a good snapshot.
+	dir := t.TempDir()
+	path := dir + "/frags.gob"
+	c, keys := persistTestCache(t)
+	if err := c.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	if err := os.WriteFile(path+".tmp", []byte("torn mid-write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFragCacheFile(path, 0)
+	if err != nil {
+		t.Fatalf("LoadFragCacheFile after torn tmp: %v", err)
+	}
+	if loaded.Len() != c.Len() {
+		t.Fatalf("old snapshot lost: %d entries, want %d", loaded.Len(), c.Len())
+	}
+	if _, ok := loaded.Lookup(keys[0], 0); !ok {
+		t.Fatal("old snapshot missing a persisted fragment")
+	}
+	// A subsequent complete save replaces both the stale tmp and the
+	// snapshot.
+	if err := c.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile over stale tmp: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp survived a successful save: %v", err)
+	}
+}
+
+func TestFragCacheLoadFileMissingColdStart(t *testing.T) {
+	loaded, err := LoadFragCacheFile(t.TempDir()+"/never-saved.gob", 0)
+	if err != nil {
+		t.Fatalf("missing file must cold-start silently: %v", err)
+	}
+	if loaded.Len() != 0 {
+		t.Fatalf("missing file loaded %d entries", loaded.Len())
 	}
 }
 

@@ -234,6 +234,11 @@ type Metrics struct {
 	// Budget exhaustions (one per evaluation that hit its budget).
 	BudgetExhausted Counter
 
+	// Fault isolation: panics contained into errors (counted once, at
+	// the first recovery point) and stuck-query watchdog trips.
+	PanicsRecovered Counter
+	WatchdogTrips   Counter
+
 	// Per-query latency in microseconds: full wall clock and time to
 	// first answer (streamed runs only).
 	QueryWallMicros   Histogram
@@ -376,6 +381,24 @@ func (m *Metrics) RecordBudgetExhausted() {
 	m.BudgetExhausted.Inc()
 }
 
+// RecordPanicRecovered counts one panic contained into an error. It is
+// recorded at the first recovery point only — layers that re-contain an
+// already-promoted fault.PanicError must not call it again.
+func (m *Metrics) RecordPanicRecovered() {
+	if m == nil {
+		return
+	}
+	m.PanicsRecovered.Inc()
+}
+
+// RecordWatchdogTrip counts one stuck-query watchdog firing.
+func (m *Metrics) RecordWatchdogTrip() {
+	if m == nil {
+		return
+	}
+	m.WatchdogTrips.Inc()
+}
+
 // RecordQuery counts one query execution with its wall-clock time and
 // (when positive, i.e. on streamed runs that yielded at least one
 // answer) its time to first answer.
@@ -422,6 +445,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		PoolInline:        m.PoolInline.Value(),
 		PoolActive:        m.PoolActive.Value(),
 		BudgetExhausted:   m.BudgetExhausted.Value(),
+		PanicsRecovered:   m.PanicsRecovered.Value(),
+		WatchdogTrips:     m.WatchdogTrips.Value(),
 		QueryWallMicros:   m.QueryWallMicros.Snapshot(),
 		FirstAnswerMicros: m.FirstAnswerMicros.Snapshot(),
 	}
@@ -487,6 +512,8 @@ type Snapshot struct {
 	PoolActive  int64 `json:"pool_active"`
 
 	BudgetExhausted int64 `json:"budget_exhausted"`
+	PanicsRecovered int64 `json:"panics_recovered"`
+	WatchdogTrips   int64 `json:"watchdog_trips"`
 
 	QueryWallMicros   HistogramSnapshot `json:"query_wall_us"`
 	FirstAnswerMicros HistogramSnapshot `json:"first_answer_us"`
@@ -520,6 +547,8 @@ func (s Snapshot) Sub(base Snapshot) Snapshot {
 		PoolInline:        s.PoolInline - base.PoolInline,
 		PoolActive:        s.PoolActive,
 		BudgetExhausted:   s.BudgetExhausted - base.BudgetExhausted,
+		PanicsRecovered:   s.PanicsRecovered - base.PanicsRecovered,
+		WatchdogTrips:     s.WatchdogTrips - base.WatchdogTrips,
 		QueryWallMicros:   s.QueryWallMicros.Sub(base.QueryWallMicros),
 		FirstAnswerMicros: s.FirstAnswerMicros.Sub(base.FirstAnswerMicros),
 	}

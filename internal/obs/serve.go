@@ -34,6 +34,10 @@ type ServeMetrics struct {
 	SessionsActive  Gauge
 	SessionsCreated Counter
 	SessionsExpired Counter
+	// Panics counts query executions that ended in a recovered panic —
+	// streams that terminated with a well-formed error event instead of
+	// taking the daemon down.
+	Panics Counter
 	// FirstEventMicros is the time from request receipt to the first
 	// event on the wire; DrainMicros the time graceful shutdown spent
 	// draining in-flight streams.
@@ -105,6 +109,14 @@ func (m *ServeMetrics) RecordSession(delta int64) {
 	}
 }
 
+// RecordPanic counts one stream that ended in a recovered panic.
+func (m *ServeMetrics) RecordPanic() {
+	if m == nil {
+		return
+	}
+	m.Panics.Inc()
+}
+
 // RecordDrain records a graceful shutdown's drain time.
 func (m *ServeMetrics) RecordDrain(d time.Duration) {
 	if m == nil {
@@ -130,6 +142,7 @@ func (m *ServeMetrics) Snapshot() ServeSnapshot {
 		SessionsActive:   m.SessionsActive.Value(),
 		SessionsCreated:  m.SessionsCreated.Value(),
 		SessionsExpired:  m.SessionsExpired.Value(),
+		Panics:           m.Panics.Value(),
 		FirstEventMicros: m.FirstEventMicros.Snapshot(),
 		DrainMicros:      m.DrainMicros.Snapshot(),
 	}
@@ -147,6 +160,7 @@ type ServeSnapshot struct {
 	SessionsActive  int64 `json:"sessions_active"`
 	SessionsCreated int64 `json:"sessions_created"`
 	SessionsExpired int64 `json:"sessions_expired"`
+	Panics          int64 `json:"panics"`
 
 	FirstEventMicros HistogramSnapshot `json:"first_event_us"`
 	DrainMicros      HistogramSnapshot `json:"drain_us"`
@@ -165,6 +179,7 @@ func (s ServeSnapshot) Sub(base ServeSnapshot) ServeSnapshot {
 		SessionsActive:   s.SessionsActive,
 		SessionsCreated:  s.SessionsCreated - base.SessionsCreated,
 		SessionsExpired:  s.SessionsExpired - base.SessionsExpired,
+		Panics:           s.Panics - base.Panics,
 		FirstEventMicros: s.FirstEventMicros.Sub(base.FirstEventMicros),
 		DrainMicros:      s.DrainMicros.Sub(base.DrainMicros),
 	}

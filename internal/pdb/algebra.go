@@ -179,6 +179,8 @@ func BooleanAnswer(r *Relation) (formula.DNF, bool) {
 // it must be treated as immutable like every relation.
 func Rename(r *Relation, name string, cols []string) *Relation {
 	if len(cols) != len(r.Cols) {
+		// invariant: Rename is a workload-construction helper; a column
+		// count mismatch is a programming error, never runtime input.
 		panic("pdb: Rename column count mismatch")
 	}
 	return &Relation{Name: name, Cols: cols, Tups: r.Tups}

@@ -8,7 +8,9 @@ import (
 	"sort"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/formula"
+	"repro/internal/obs"
 	"repro/internal/workpool"
 )
 
@@ -65,6 +67,19 @@ func ConfWith(ctx context.Context, s *formula.Space, answers []Answer, ev engine
 			out[i].Err = err
 			return
 		}
+		// A panicking evaluation fails this answer alone — contained
+		// here (before the pool's batch-level containment) so sibling
+		// answers keep their results and the batch completes, exactly
+		// like a per-answer budget exhaustion.
+		defer func() {
+			if v := recover(); v != nil {
+				pe, first := fault.Promote(v, "pdb.conf")
+				if first {
+					evalMetrics(ev).RecordPanicRecovered()
+				}
+				out[i].Err = pe
+			}
+		}()
 		res, err := ev.Evaluate(ctx, s, a.Lin)
 		out[i].P = res.Estimate
 		out[i].Res = res
@@ -102,6 +117,19 @@ func ConfWith(ctx context.Context, s *formula.Space, answers []Answer, ev engine
 		errs = append(errs, ctxErr)
 	}
 	return out, errors.Join(errs...)
+}
+
+// evalMetrics extracts the engine registry an evaluator carries, if
+// any — the conf() operator has no registry of its own, and panic
+// recoveries are counted at their first capture point.
+func evalMetrics(ev engine.Evaluator) *obs.Metrics {
+	switch e := ev.(type) {
+	case engine.Approx:
+		return e.Metrics
+	case engine.Exact:
+		return e.Metrics
+	}
+	return nil
 }
 
 // ownerChunks groups answer indices by owning partition, largest chunk

@@ -77,6 +77,9 @@ func (q *Query) Evaluate() []Answer {
 		case item.On != nil:
 			acc = ThetaJoin(acc, right, item.On)
 		default:
+			// invariant: legacy Query structs are compiled-in workload
+			// definitions; an item with no condition is a programming
+			// error in the workload, not runtime input.
 			panic(fmt.Sprintf("pdb: join item %d has no condition", i))
 		}
 		width += len(item.Rel.Cols)

@@ -72,6 +72,9 @@ func NewDeterministic(name string, cols []string, rows [][]Value) *Relation {
 // variable order in the d-tree compiler).
 func NewTupleIndependent(s *formula.Space, name string, cols []string, rows [][]Value, probs []float64, tag int32) *Relation {
 	if len(rows) != len(probs) {
+		// invariant: relation construction happens at load time from
+		// generator/workload code; a length mismatch is a programming
+		// error, never runtime input.
 		panic("pdb: rows and probs length mismatch")
 	}
 	r := &Relation{Name: name, Cols: cols}

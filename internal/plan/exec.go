@@ -96,10 +96,17 @@ func newCursor(n Node, in *formula.Interner) cursor {
 	case *Project:
 		return &projectCursor{in: newCursor(t.Input, in), cols: t.Cols}
 	case *GroupLineage:
+		// invariant: compile strips GroupLineage off the root and the
+		// façade rejects nested ones before a plan reaches the runtime.
 		panic("plan: GroupLineage below the plan root")
 	case *TopK, *Threshold:
+		// invariant: ranking roots are stripped by compile; validate and
+		// the façade reject non-root placement.
 		panic("plan: TopK/Threshold must be the plan root")
 	}
+	// invariant: Node is sealed and every IR type is handled above;
+	// foreign embedders are rejected by the façade's checkNode before
+	// any cursor is built.
 	panic(fmt.Sprintf("plan: unknown node %T", n))
 }
 
@@ -242,6 +249,8 @@ func thetaPred(t *ThetaJoin) func(left, right []pdb.Value) bool {
 		}
 	}
 	if pred == nil {
+		// invariant: the façade's builder and checkNode guarantee every
+		// ThetaJoin carries Less or Pred before a plan is compiled.
 		panic("plan: ThetaJoin without Less or Pred")
 	}
 	return pred

@@ -128,10 +128,18 @@ func (*GroupLineage) isNode() {}
 func (*TopK) isNode()         {}
 func (*Threshold) isNode()    {}
 
-// Width returns the number of output columns of n.
+// Width returns the number of output columns of n. Malformed trees —
+// a nil-relation scan, or a foreign type satisfying Node by embedding
+// one of the IR structs — report width 0 rather than panicking: these
+// inspectors run on adopted, not-yet-validated user IR (the façade's
+// builder calls Width before Build gets to reject the tree), so they
+// must stay total.
 func Width(n Node) int {
 	switch t := n.(type) {
 	case *Scan:
+		if t.Rel == nil {
+			return 0
+		}
 		return len(t.Rel.Cols)
 	case *Select:
 		return Width(t.Input)
@@ -148,14 +156,18 @@ func Width(n Node) int {
 	case *Threshold:
 		return Width(t.Input)
 	}
-	panic(fmt.Sprintf("plan: unknown node %T", n))
+	return 0
 }
 
 // Name returns a deterministic, bounded display name for the relation n
-// produces (pdb.DerivedName rules).
+// produces (pdb.DerivedName rules). Total over malformed trees, like
+// Width: unknown node types name themselves by their Go type.
 func Name(n Node) string {
 	switch t := n.(type) {
 	case *Scan:
+		if t.Rel == nil {
+			return "scan(<nil>)"
+		}
 		return t.Rel.Name
 	case *Select:
 		return pdb.DerivedName("σ", Name(t.Input))
@@ -172,14 +184,20 @@ func Name(n Node) string {
 	case *Threshold:
 		return pdb.DerivedName("σP≥τ", Name(t.Input))
 	}
-	panic(fmt.Sprintf("plan: unknown node %T", n))
+	return fmt.Sprintf("unknown(%T)", n)
 }
 
 // Schema returns the output column names of n. Joins qualify each
 // side's columns with the side's Name, mirroring the legacy operators.
+// Total over malformed trees, like Width: unknown nodes (and
+// out-of-range projections, which Build rejects with a BuildError)
+// yield a nil schema rather than a panic.
 func Schema(n Node) []string {
 	switch t := n.(type) {
 	case *Scan:
+		if t.Rel == nil {
+			return nil
+		}
 		return append([]string(nil), t.Rel.Cols...)
 	case *Select:
 		return Schema(t.Input)
@@ -188,25 +206,30 @@ func Schema(n Node) []string {
 	case *ThetaJoin:
 		return joinSchema(t.Left, t.Right)
 	case *Project:
-		in := Schema(t.Input)
-		out := make([]string, len(t.Cols))
-		for i, c := range t.Cols {
-			out[i] = in[c]
-		}
-		return out
+		return projectSchema(Schema(t.Input), t.Cols)
 	case *GroupLineage:
-		in := Schema(t.Input)
-		out := make([]string, len(t.Cols))
-		for i, c := range t.Cols {
-			out[i] = in[c]
-		}
-		return out
+		return projectSchema(Schema(t.Input), t.Cols)
 	case *TopK:
 		return Schema(t.Input)
 	case *Threshold:
 		return Schema(t.Input)
 	}
 	panic(fmt.Sprintf("plan: unknown node %T", n))
+}
+
+// projectSchema resolves a projection's column names, naming
+// out-of-range positions "col(c)" instead of panicking — Build rejects
+// such trees, but Schema may inspect them first.
+func projectSchema(in []string, cols []int) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= len(in) {
+			out[i] = fmt.Sprintf("col(%d)", c)
+			continue
+		}
+		out[i] = in[c]
+	}
+	return out
 }
 
 func joinSchema(l, r Node) []string {

@@ -40,6 +40,9 @@ func FromLegacy(q *pdb.Query) Node {
 		case item.On != nil:
 			acc = &ThetaJoin{Left: acc, Right: right, Pred: item.On}
 		default:
+			// invariant: legacy Query structs are compiled-in workload
+			// definitions; an item with no condition is a programming
+			// error in the workload, not runtime input.
 			panic(fmt.Sprintf("pdb: join item %d has no condition", i))
 		}
 		width += len(item.Rel.Cols)

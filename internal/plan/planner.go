@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/formula"
 	"repro/internal/obs"
 	"repro/internal/pdb"
@@ -65,6 +66,14 @@ type Options struct {
 	// volumes and stage events, and is the default registry for the
 	// ranking scheduler when the evaluator carries none. Nil-safe.
 	Metrics *obs.Metrics
+	// Inject, when non-nil, fires deterministic faults at the plan's
+	// chaos sites (shard merge, plus the core sites through the ranking
+	// scheduler) — the default injector when the evaluator carries
+	// none. Nil-safe.
+	Inject *fault.Injector
+	// Watchdog, when positive, is the ranked route's stuck-query
+	// deadline (see rank.Options.Watchdog).
+	Watchdog time.Duration
 }
 
 // rankSpec is a ranking root (TopK/Threshold) stripped off the plan:
@@ -101,9 +110,11 @@ type Plan struct {
 	// shard is the partitioning decision behind Shards > 1; pool is the
 	// worker pool the partition chains and conf fan-out run on;
 	// metrics is the registry every execution records into (nil = none).
-	shard   *shardSpec
-	pool    *workpool.Pool
-	metrics *obs.Metrics
+	shard    *shardSpec
+	pool     *workpool.Pool
+	metrics  *obs.Metrics
+	inject   *fault.Injector
+	watchdog time.Duration
 	// nestedRank records (at compile time) that a ranking node survived
 	// below the root — the plan is unexecutable and Answers errors.
 	nestedRank bool
@@ -142,7 +153,7 @@ func CompileWith(root Node, opt Options) *Plan {
 
 // compileRouted routes a rank-free query.
 func compileRouted(root Node, opt Options) *Plan {
-	p := &Plan{Root: root, Route: RouteLineage, metrics: opt.Metrics}
+	p := &Plan{Root: root, Route: RouteLineage, metrics: opt.Metrics, inject: opt.Inject, watchdog: opt.Watchdog}
 	if root == nil {
 		p.Why = "empty query"
 		return p
@@ -227,7 +238,7 @@ func (p *Plan) lineage(ctx context.Context, in *formula.Interner, tr *obs.QueryT
 		st      lineageStats
 	)
 	if p.shard != nil {
-		answers, owner, st = shardedLineage(ctx, p.Root, p.shard, in, p.pool, tr)
+		answers, owner, st = shardedLineage(ctx, p.Root, p.shard, in, p.pool, tr, p.inject)
 	} else {
 		answers, st = lineageWithStats(p.Root, in)
 	}
@@ -312,7 +323,10 @@ func (p *Plan) AnswersTraced(ctx context.Context, s *formula.Space, ev engine.Ev
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		answers, owner := p.lineage(ctx, in, tr)
+		answers, owner, lerr := p.lineageSafe(ctx, in, tr)
+		if lerr != nil {
+			return nil, lerr
+		}
 		if p.rank != nil {
 			opt := p.rankOptions(ev)
 			start := time.Now()
@@ -345,7 +359,8 @@ func (p *Plan) AnswersTraced(ctx context.Context, s *formula.Space, ev engine.Ev
 }
 
 // rankOptions derives the scheduler configuration from the evaluator,
-// defaulting the worker pool and metrics registry to the plan's own.
+// defaulting the worker pool, metrics registry, fault injector and
+// watchdog deadline to the plan's own.
 func (p *Plan) rankOptions(ev engine.Evaluator) rank.Options {
 	opt := rankOptionsFrom(ev)
 	if opt.Pool == nil {
@@ -354,7 +369,32 @@ func (p *Plan) rankOptions(ev engine.Evaluator) rank.Options {
 	if opt.Metrics == nil {
 		opt.Metrics = p.metrics
 	}
+	if opt.Inject == nil {
+		opt.Inject = p.inject
+	}
+	if opt.Watchdog == 0 {
+		opt.Watchdog = p.watchdog
+	}
 	return opt
+}
+
+// lineageSafe is lineage with panic containment: the pipeline runs
+// arbitrary operator code (joins, shard chains, the shard.merge chaos
+// site) outside the evaluators' containment, so a panic here must fail
+// this query — surfacing as an ordinary error through the partial-
+// results plumbing — rather than unwind the caller.
+func (p *Plan) lineageSafe(ctx context.Context, in *formula.Interner, tr *obs.QueryTrace) (answers []pdb.Answer, owner []int, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe, first := fault.Promote(v, "plan.lineage")
+			if first {
+				p.metrics.RecordPanicRecovered()
+			}
+			answers, owner, err = nil, nil, pe
+		}
+	}()
+	answers, owner = p.lineage(ctx, in, tr)
+	return answers, owner, nil
 }
 
 // recordRank records a scheduler run on the trace: the "rank" stage,
@@ -494,11 +534,13 @@ func rankOptionsFrom(ev engine.Evaluator) rank.Options {
 			Eps: e.Eps, Kind: e.Kind, Order: e.Order,
 			Budget: e.Budget, Cache: e.Cache, Frags: e.Frags,
 			Sequential: e.Sequential, Pool: e.Pool, Metrics: e.Metrics,
+			Inject: e.Inject,
 		}
 	case engine.Exact:
 		return rank.Options{
 			Order: e.Order, Budget: e.Budget, Cache: e.Cache,
 			Sequential: e.Sequential, Pool: e.Pool, Metrics: e.Metrics,
+			Inject: e.Inject,
 		}
 	case engine.MonteCarlo:
 		return rank.Options{Budget: e.Budget}

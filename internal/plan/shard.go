@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/formula"
 	"repro/internal/obs"
 	"repro/internal/pdb"
@@ -290,6 +291,8 @@ func (e *shardExec) build(n Node, base int) cursor {
 	case *Project:
 		return &projectCursor{in: e.build(t.Input, base), cols: t.Cols}
 	}
+	// invariant: the planner only routes shardable subtrees (shardSpec
+	// vets every node type) into the partition-parallel executor.
 	panic(fmt.Sprintf("plan: unshardable node %T", n))
 }
 
@@ -302,7 +305,7 @@ func (e *shardExec) build(n Node, base int) cursor {
 // tr receives per-partition chain stats; ctx scopes the runtime/trace
 // regions around the chains and the merge ("repro.shard-chain",
 // "repro.shard-merge") so `go tool trace` attributes the work.
-func shardedLineage(ctx context.Context, root Node, spec *shardSpec, in *formula.Interner, pool *workpool.Pool, tr *obs.QueryTrace) ([]pdb.Answer, []int, lineageStats) {
+func shardedLineage(ctx context.Context, root Node, spec *shardSpec, in *formula.Interner, pool *workpool.Pool, tr *obs.QueryTrace, inj *fault.Injector) ([]pdb.Answer, []int, lineageStats) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -339,6 +342,9 @@ func shardedLineage(ctx context.Context, root Node, spec *shardSpec, in *formula
 		st.tuples += entries
 	}
 	region := rtrace.StartRegion(ctx, "repro.shard-merge")
+	// Chaos site: the merge has no error return — a fault here panics
+	// and is contained by lineageSafe, failing the query alone.
+	inj.FirePanic(fault.SiteShardMerge)
 	answers, owner := mergeParts(parts, g.Cols, in)
 	region.End()
 	st.answers = int64(len(answers))

@@ -77,7 +77,11 @@ func (p *Plan) StreamTraced(ctx context.Context, s *formula.Space, ev engine.Eva
 		}
 		tr.SetPlan(p.Explain(), p.Route.String(), p.Shards)
 		p.metrics.RecordRoute(p.Route.String(), p.Shards)
-		answers, _ := p.lineage(ctx, in, tr)
+		answers, _, lerr := p.lineageSafe(ctx, in, tr)
+		if lerr != nil {
+			yield(pdb.AnswerConf{}, lerr)
+			return
+		}
 		opt := p.rankOptions(ev)
 		sctx, cancel := context.WithCancel(ctx)
 		defer cancel()

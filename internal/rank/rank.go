@@ -36,8 +36,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/engine"
 	"repro/internal/formula"
 	"repro/internal/obs"
@@ -106,6 +108,14 @@ type Options struct {
 	// events, and is threaded into every refiner (steps, cache traffic,
 	// budget exhaustions). Nil-safe; nil costs one branch per event.
 	Metrics *obs.Metrics
+	// Inject, when non-nil, fires deterministic faults at the core
+	// chaos sites inside every refiner (nil-safe, see fault.Injector).
+	Inject *fault.Injector
+	// Watchdog, when positive, is the stuck-query deadline: if no grant
+	// tightens any answer's bounds for this long, the run stops with
+	// fault.ErrStuck (and a watchdog_trips metric) instead of spinning —
+	// the budget-cancel of last resort for a wedged refiner.
+	Watchdog time.Duration
 	// OnDecided, when non-nil, is invoked synchronously from the
 	// scheduling loop the moment an answer's membership is *proven*
 	// (status decided-in: fewer than k answers can possibly rank above
@@ -135,7 +145,7 @@ func (o Options) coreOptions() core.Options {
 		Eps: o.Eps, Kind: o.Kind, Order: o.Order,
 		MaxNodes: o.Budget.MaxNodes, MaxWork: o.Budget.MaxWork,
 		Cache: o.Cache, Frags: o.Frags, Sequential: o.Sequential, Pool: o.Pool,
-		Metrics: o.Metrics,
+		Metrics: o.Metrics, Inject: o.Inject,
 	}
 }
 
@@ -207,6 +217,12 @@ type sched struct {
 	steps  int
 	ix     *decideIndex
 	ph     *widthHeap
+
+	// Stuck-query watchdog (Options.Watchdog): lastProgress is stamped
+	// whenever a grant tightens some bound; the scheduling loops check
+	// it before every grant.
+	wd           time.Duration
+	lastProgress time.Time
 }
 
 func newSched(ctx context.Context, s *formula.Space, dnfs []formula.DNF, opt Options) *sched {
@@ -216,6 +232,10 @@ func newSched(ctx context.Context, s *formula.Space, dnfs []formula.DNF, opt Opt
 		refs:   make([]*core.Refiner, len(dnfs)),
 		items:  make([]Item, len(dnfs)),
 		status: make([]status, len(dnfs)),
+	}
+	if opt.Watchdog > 0 {
+		sc.wd = opt.Watchdog
+		sc.lastProgress = time.Now()
 	}
 	co := opt.coreOptions()
 	if co.Frags == nil {
@@ -291,15 +311,18 @@ func (sc *sched) quantum() (int, bool) {
 }
 
 // grant hands the chosen answer a quantum of refinement and records
-// the tightened bounds. Only context errors are returned: a refiner
-// exhausting its per-answer budget simply stops refining (the answer
-// is later cut by estimate, like the Eps floor).
+// the tightened bounds. Only context errors (and contained panics) are
+// returned: a refiner exhausting its per-answer budget simply stops
+// refining (the answer is later cut by estimate, like the Eps floor).
 func (sc *sched) grant(i, quantum int) error {
 	sc.opt.Metrics.RecordRankGrant()
 	before := sc.refs[i].Steps()
 	oldLo, oldHi := sc.items[i].Lo, sc.items[i].Hi
-	lo, hi, _ := sc.refs[i].Step(quantum)
+	lo, hi := sc.step(i, quantum)
 	sc.steps += sc.refs[i].Steps() - before
+	if sc.wd > 0 && (lo != oldLo || hi != oldHi) {
+		sc.lastProgress = time.Now()
+	}
 	sc.items[i].Lo, sc.items[i].Hi = lo, hi
 	if sc.ix != nil {
 		sc.ix.update(i, oldLo, oldHi, lo, hi)
@@ -307,6 +330,50 @@ func (sc *sched) grant(i, quantum int) error {
 	sc.ph.refile(i, sc.refs[i].Done() || sc.status[i] != undecided)
 	if err := sc.refs[i].Err(); err != nil && !errors.Is(err, core.ErrBudget) {
 		return err
+	}
+	return nil
+}
+
+// step runs one refinement quantum under a recover: a panic inside
+// Step — an engine bug or an injected fault below a containment-free
+// path — fails this answer's refiner and surfaces through its Err like
+// a cancellation, never unwinding the scheduler (whose OnDecided hook
+// yields into a consumer iterator that must not be re-entered after a
+// panic).
+func (sc *sched) step(i, quantum int) (lo, hi float64) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe, first := fault.Promote(v, "rank.grant")
+			if first {
+				sc.opt.Metrics.RecordPanicRecovered()
+			}
+			sc.refs[i].Abort(pe)
+			lo, hi = sc.items[i].Lo, sc.items[i].Hi
+		}
+	}()
+	lo, hi, _ = sc.refs[i].Step(quantum)
+	return lo, hi
+}
+
+// checkStuck trips the watchdog when no grant has tightened any bound
+// within the deadline.
+func (sc *sched) checkStuck() error {
+	if sc.wd <= 0 || time.Since(sc.lastProgress) <= sc.wd {
+		return nil
+	}
+	sc.opt.Metrics.RecordWatchdogTrip()
+	return fault.ErrStuck
+}
+
+// initErr surfaces a refiner that failed during preparation (contained
+// panic or pre-cancelled context): such an answer can never be decided
+// by refinement, so the run fails fast with its partial bounds instead
+// of silently cutting the answer by a meaningless estimate.
+func (sc *sched) initErr() error {
+	for _, r := range sc.refs {
+		if err := r.Err(); err != nil && !errors.Is(err, core.ErrBudget) {
+			return err
+		}
 	}
 	return nil
 }
@@ -351,6 +418,9 @@ func (sc *sched) resolve(sel []int) error {
 			q, ok := sc.quantum()
 			if !ok {
 				return nil
+			}
+			if err := sc.checkStuck(); err != nil {
+				return err
 			}
 			if err := sc.grant(i, q); err != nil {
 				return err
@@ -400,7 +470,10 @@ func schedule(ctx context.Context, s *formula.Space, dnfs []formula.DNF, opt Opt
 	ctx, cancel := opt.Budget.Context(ctx)
 	defer cancel()
 	sc := newSched(ctx, s, dnfs, opt)
-	err := sc.run(func() { decide(sc) })
+	err := sc.initErr()
+	if err == nil {
+		err = sc.run(func() { decide(sc) })
+	}
 	decide(sc)
 	sc.estimates()
 	ranking := sel(sc)
@@ -422,12 +495,18 @@ func RefineAll(ctx context.Context, s *formula.Space, dnfs []formula.DNF, opt Op
 	ctx, cancel := opt.Budget.Context(ctx)
 	defer cancel()
 	sc := newSched(ctx, s, dnfs, opt)
-	var err error
+	err := sc.initErr()
 loop:
 	for i := range sc.refs {
+		if err != nil {
+			break
+		}
 		for !sc.refs[i].Done() {
 			q, ok := sc.quantum()
 			if !ok {
+				break loop
+			}
+			if err = sc.checkStuck(); err != nil {
 				break loop
 			}
 			if err = sc.grant(i, q); err != nil {
@@ -452,6 +531,9 @@ loop:
 func (sc *sched) run(decide func()) error {
 	for {
 		if err := sc.ctx.Err(); err != nil {
+			return err
+		}
+		if err := sc.checkStuck(); err != nil {
 			return err
 		}
 		decide()

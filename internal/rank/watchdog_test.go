@@ -1,0 +1,127 @@
+package rank
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/formula"
+	"repro/internal/obs"
+)
+
+// gridAnswers builds n answers of m independent clauses each — lineage
+// that takes real refinement work, so the watchdog loops run grants.
+func gridAnswers(s *formula.Space, n, m int) []formula.DNF {
+	out := make([]formula.DNF, n)
+	for i := range out {
+		d := make(formula.DNF, m)
+		for j := range d {
+			p := 0.1 + 0.8*float64((i*m+j)%7)/7
+			d[j] = formula.MustClause(formula.Pos(s.AddBool(p)))
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// TestWatchdogTripsOnStall is the white-box stall check: fabricating a
+// refiner that genuinely wedges is impractical (every grant on healthy
+// lineage tightens bounds), so the progress stamp is forced into the
+// past and the scheduling loop must trip with fault.ErrStuck and count
+// the trip.
+func TestWatchdogTripsOnStall(t *testing.T) {
+	s := formula.NewSpace()
+	met := obs.NewMetrics()
+	sc := newSched(context.Background(), s, gridAnswers(s, 4, 6), Options{
+		Watchdog: 50 * time.Millisecond,
+		Metrics:  met,
+	})
+	if err := sc.checkStuck(); err != nil {
+		t.Fatalf("fresh scheduler already stuck: %v", err)
+	}
+	sc.lastProgress = time.Now().Add(-time.Second)
+	err := sc.run(func() { sc.decideTopK(2) })
+	if !errors.Is(err, fault.ErrStuck) {
+		t.Fatalf("stalled run returned %v, want fault.ErrStuck", err)
+	}
+	if n := met.WatchdogTrips.Value(); n != 1 {
+		t.Fatalf("watchdog_trips = %d, want 1", n)
+	}
+}
+
+// TestWatchdogQuietOnProgress: a healthy run under a generous deadline
+// must never trip — every grant restamps progress.
+func TestWatchdogQuietOnProgress(t *testing.T) {
+	s := formula.NewSpace()
+	met := obs.NewMetrics()
+	res, err := TopK(context.Background(), s, gridAnswers(s, 6, 5), 3, Options{
+		Watchdog: 5 * time.Second,
+		Metrics:  met,
+	})
+	if err != nil {
+		t.Fatalf("healthy watched run failed: %v", err)
+	}
+	if len(res.Ranking) != 3 {
+		t.Fatalf("ranking size %d, want 3", len(res.Ranking))
+	}
+	if n := met.WatchdogTrips.Value(); n != 0 {
+		t.Fatalf("watchdog_trips = %d on a healthy run", n)
+	}
+}
+
+// TestWatchdogIdenticalSchedule: enabling the watchdog must not perturb
+// scheduling — same grants, same steps, same ranking as an unwatched
+// run (the disabled-injector/enabled-watchdog hot path only stamps a
+// timestamp per productive grant).
+func TestWatchdogIdenticalSchedule(t *testing.T) {
+	mk := func(opt Options) Result {
+		s := formula.NewSpace()
+		res, err := TopK(context.Background(), s, gridAnswers(s, 8, 4), 3, opt)
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		return res
+	}
+	plain := mk(Options{})
+	watched := mk(Options{Watchdog: time.Minute})
+	if plain.Steps != watched.Steps {
+		t.Fatalf("steps diverged: %d vs %d", plain.Steps, watched.Steps)
+	}
+	if len(plain.Ranking) != len(watched.Ranking) {
+		t.Fatalf("ranking size diverged")
+	}
+	for i := range plain.Ranking {
+		if plain.Ranking[i] != watched.Ranking[i] {
+			t.Fatalf("ranking diverged at %d: %v vs %v", i, plain.Ranking, watched.Ranking)
+		}
+	}
+}
+
+// TestFaultRankGrantContainsPanic: a panic mid-Step (injected at the
+// leaf.prepare site inside refinement) must fail the run with a
+// *fault.PanicError through the ordinary error return — partial results
+// intact, no unwinding through the scheduler — and count exactly one
+// recovery.
+func TestFaultRankGrantContainsPanic(t *testing.T) {
+	s := formula.NewSpace()
+	met := obs.NewMetrics()
+	inj := fault.NewInjector(5)
+	inj.Configure(fault.SiteLeafPrepare, fault.SiteConfig{Panic: 0.5})
+	_, err := TopK(context.Background(), s, gridAnswers(s, 6, 6), 2, Options{
+		Metrics: met,
+		Inject:  inj,
+	})
+	if err == nil {
+		t.Fatalf("seed 5 injects panics at leaf.prepare yet the run succeeded (stats %+v)",
+			inj.Stats()[fault.SiteLeafPrepare])
+	}
+	var pe *fault.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v (%T) is not a *fault.PanicError", err, err)
+	}
+	if met.PanicsRecovered.Value() < 1 {
+		t.Fatal("no panic recovery counted")
+	}
+}

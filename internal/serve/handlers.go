@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -59,9 +60,20 @@ type sseSink struct {
 	failed  bool
 	meta    Meta
 	answers int
+
+	// id prefixes each answer event's SSE id: field ("q-7/3" is the
+	// third answer of query q-7), giving reconnecting clients a resume
+	// cursor; retryMS is the one-shot retry: reconnection hint written
+	// when the stream opens; inj fires the sse.flush chaos site before
+	// each answer write (nil-safe, the production case).
+	id      string
+	retryMS int
+	inj     *fault.Injector
 }
 
-func (k *sseSink) event(name string, v any) bool {
+func (k *sseSink) event(name string, v any) bool { return k.eventID("", name, v) }
+
+func (k *sseSink) eventID(id, name string, v any) bool {
 	if k.failed {
 		return false
 	}
@@ -73,10 +85,20 @@ func (k *sseSink) event(name string, v any) bool {
 		k.w.WriteHeader(http.StatusOK)
 		k.started = true
 		k.met.RecordFirstEvent(time.Since(k.start))
+		if k.retryMS > 0 {
+			// A lone retry: field is processed line-by-line by SSE
+			// parsers; it dispatches no event, only sets the client's
+			// reconnection delay.
+			fmt.Fprintf(k.w, "retry: %d\n\n", k.retryMS)
+		}
 	}
 	data, err := json.Marshal(v)
 	if err == nil {
-		_, err = fmt.Fprintf(k.w, "event: %s\ndata: %s\n\n", name, data)
+		if id != "" {
+			_, err = fmt.Fprintf(k.w, "id: %s\nevent: %s\ndata: %s\n\n", id, name, data)
+		} else {
+			_, err = fmt.Fprintf(k.w, "event: %s\ndata: %s\n\n", name, data)
+		}
 	}
 	if err != nil {
 		k.failed = true
@@ -95,10 +117,20 @@ func (k *sseSink) Meta(m Meta) bool {
 }
 
 func (k *sseSink) Answer(a Answer) bool {
-	if !k.event("answer", a) {
+	// The sse.flush chaos site: an injected error or cancellation plays
+	// as a broken client connection (the stream just stops, like a real
+	// disconnect); an injected panic unwinds into runStream's
+	// containment and ends the stream with well-formed error + done
+	// events; injected latency models a slow consumer.
+	if err := k.inj.Fire(fault.SiteSSEFlush); err != nil {
+		k.failed = true
 		return false
 	}
 	k.answers++
+	if !k.eventID(fmt.Sprintf("%s/%d", k.id, k.answers), "answer", a) {
+		k.answers--
+		return false
+	}
 	k.met.RecordAnswer()
 	return true
 }
@@ -128,6 +160,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		status := http.StatusBadRequest
+		var rerr *RequestError
+		if errors.As(err, &rerr) {
+			status = rerr.Status
+		}
+		httpError(w, status, err.Error())
 		return
 	}
 
@@ -184,10 +225,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.runStream(ctx, w, r, sess.client, &req, params, start, &disconnected)
 }
 
+// runContained executes one query run with last-line panic
+// containment: a panic that escaped every inner recovery point (an
+// injected sse.flush panic, a bug in the serving glue) becomes the
+// run's error, so the stream still ends with well-formed error + done
+// events and the daemon keeps serving. net/http would survive the
+// panic anyway, but only by tearing the connection down mid-stream.
+func (s *Server) runContained(ctx context.Context, client SessionClient, req *Request, params RunParams, sink Sink) (out RunOutcome, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe, _ := fault.Promote(v, "serve.query")
+			pe.QueryID = params.ID
+			s.met.RecordPanic()
+			err = pe
+		}
+	}()
+	return client.Run(ctx, req, params, sink)
+}
+
 // runStream executes one query onto an SSE response.
 func (s *Server) runStream(ctx context.Context, w http.ResponseWriter, r *http.Request, client SessionClient, req *Request, params RunParams, start time.Time, disconnected *bool) {
-	sink := &sseSink{w: w, rc: http.NewResponseController(w), met: s.met, start: start}
-	out, err := client.Run(ctx, req, params, sink)
+	sink := &sseSink{
+		w: w, rc: http.NewResponseController(w), met: s.met, start: start,
+		id: params.ID, retryMS: 1000 * s.retryAfterSeconds(), inj: s.cfg.Inject,
+	}
+	out, err := s.runContained(ctx, client, req, params, sink)
 
 	if r.Context().Err() != nil {
 		*disconnected = true
@@ -224,7 +286,7 @@ func (s *Server) runStream(ctx context.Context, w http.ResponseWriter, r *http.R
 // runBatch executes one query into a single JSON response.
 func (s *Server) runBatch(ctx context.Context, w http.ResponseWriter, r *http.Request, client SessionClient, req *Request, params RunParams, start time.Time, disconnected *bool) {
 	sink := &batchSink{met: s.met}
-	out, err := client.Run(ctx, req, params, sink)
+	out, err := s.runContained(ctx, client, req, params, sink)
 
 	if r.Context().Err() != nil {
 		*disconnected = true

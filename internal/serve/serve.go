@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/formula"
 	"repro/internal/obs"
 )
@@ -89,6 +90,18 @@ type Config struct {
 	// with the previous run's decompositions. Read by the repro backend,
 	// not by this package.
 	SharedFrags *formula.FragCache
+	// Inject, when set, arms deterministic fault injection: the SSE
+	// answer path fires the sse.flush chaos site before each event
+	// write, and the repro backend threads the same injector into every
+	// query session (the eval.step, leaf.prepare, cache.lookup and
+	// shard.merge sites). Nil — the production configuration — costs a
+	// single nil check per probe.
+	Inject *fault.Injector
+	// Watchdog, when positive, arms the stuck-query watchdog on ranked
+	// queries: a run whose refinement stops tightening bounds for longer
+	// than this stops with fault.ErrStuck instead of occupying an
+	// admission slot forever. Read by the repro backend.
+	Watchdog time.Duration
 	// Logf, when set, receives server lifecycle lines (startup,
 	// shutdown, sweep counts). Nil means silent.
 	Logf func(format string, args ...any)

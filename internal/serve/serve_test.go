@@ -72,14 +72,17 @@ func serveDB(tb testing.TB) *repro.DB {
 	//                 clean confidence ladder for top-k streaming;
 	//   group  9      four clauses over gx/gy rows 8..9 — a small
 	//                 formula that collapses to (near-)exact ≈0.53 fast;
-	//   groups 10..11 identical 8×8 grids at edge probability 0.03 — a
-	//                 perfect tie whose union bound (64·0.0075 = 0.48)
-	//                 stays below group 9, so 9 is decided in early
-	//                 while 10 vs 11 grinds at the Eps floor — the long
-	//                 tail the disconnect test cancels into.
+	//   groups 10..11 identical 16×16 grids at edge probability 0.0075
+	//                 — a perfect tie whose union bound (256·0.25·0.0075
+	//                 = 0.48) stays below group 9, so 9 is decided in
+	//                 early while 10 vs 11 grinds; the grids are big
+	//                 enough that exact resolution of the tie is out of
+	//                 reach, so an eps-0 request holds its stream open
+	//                 until the client hangs up — the deterministic
+	//                 disconnect-test workload.
 	var gxr, gyr, ger [][]pdb.Value
 	var gxp, gyp, gep []float64
-	for i := 0; i < 10; i++ {
+	for i := 0; i < 16; i++ {
 		gxr = append(gxr, []pdb.Value{pdb.Value(i)})
 		gxp = append(gxp, 0.5)
 		gyr = append(gyr, []pdb.Value{pdb.Value(i)})
@@ -98,10 +101,10 @@ func serveDB(tb testing.TB) *repro.DB {
 		gep = append(gep, 0.9)
 	}
 	for g := 10; g <= 11; g++ {
-		for i := 0; i < 8; i++ {
-			for j := 0; j < 8; j++ {
+		for i := 0; i < 16; i++ {
+			for j := 0; j < 16; j++ {
 				ger = append(ger, []pdb.Value{pdb.Value(i), pdb.Value(j), pdb.Value(g)})
-				gep = append(gep, 0.03)
+				gep = append(gep, 0.0075)
 			}
 		}
 	}
@@ -683,11 +686,13 @@ func TestServeHTTPDisconnectCancels(t *testing.T) {
 	_, base := newTestServer(t, repro.ServeConfig{DefaultEps: 1e-4})
 
 	// Top-2 over group 9 (easy, decided in early — the first answer)
-	// and the tied pair 10/11, which the scheduler then grinds at the
-	// Eps floor — the stream is guaranteed to still be running when the
-	// client hangs up after the first answer.
+	// and the tied pair 10/11, requested exact (explicit eps 0): the
+	// perfect tie can only be broken by fully resolving both grids, so
+	// the stream is guaranteed to still be grinding when the client
+	// hangs up after the first answer — no race against a fast machine
+	// finishing an approximate grind before the cancel propagates.
 	body, err := json.Marshal(serve.Request{
-		Eps:    f64(1e-4),
+		Eps:    f64(0),
 		Budget: &serve.Budget{TimeoutMS: 60_000},
 		Query:  gridTopK(2, "ge", 9),
 	})

@@ -68,10 +68,12 @@ func TestServeSoakConcurrentSessions(t *testing.T) {
 						t.Errorf("session %s demo run: %d answers, err %q", name, len(answers), errMsg)
 					}
 				case 2:
-					// Mid-stream disconnect during the tied grind.
+					// Mid-stream disconnect during the tied grind —
+					// requested exact so the perfect tie keeps the stream
+					// open until the hangup (see TestServeHTTPDisconnectCancels).
 					body, _ := json.Marshal(serve.Request{
 						Session: name,
-						Eps:     f64(1e-4),
+						Eps:     f64(0),
 						Budget:  &serve.Budget{TimeoutMS: 60_000},
 						Query:   gridTopK(2, "ge", 9),
 					})

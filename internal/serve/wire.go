@@ -2,6 +2,9 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/engine"
@@ -30,6 +33,73 @@ type Request struct {
 	Budget *Budget `json:"budget,omitempty"`
 	// Query is the plan in wire IR form.
 	Query *Node `json:"query"`
+}
+
+// MaxWireNodes caps the operator count of one wire query. The request
+// body is already size-capped, but a pathological body can still pack
+// thousands of operators into it; refusing them at validation keeps
+// the compile step's work proportional to queries a human could have
+// meant, and turns a resource-exhaustion vector into a 400.
+const MaxWireNodes = 4096
+
+// Validate rejects request shapes that must never reach the engine:
+// a non-finite or out-of-range Eps (NaN would poison every bounds
+// comparison downstream), negative budget fields (the engine treats
+// them as "no budget", silently unbounding the query), and plans over
+// MaxWireNodes operators. Violations come back as 400 RequestErrors;
+// a valid request passes through untouched.
+func (r *Request) Validate() error {
+	if r.Eps != nil {
+		e := *r.Eps
+		if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 || e >= 1 {
+			return &RequestError{Status: 400, Err: fmt.Errorf("eps %v must be a finite value in [0, 1)", e)}
+		}
+	}
+	if b := r.Budget; b != nil {
+		if b.MaxNodes < 0 || b.MaxWork < 0 || b.MaxSamples < 0 || b.TimeoutMS < 0 {
+			return &RequestError{Status: 400, Err: errors.New("budget fields must be non-negative")}
+		}
+	}
+	if n := countNodes(r.Query); n > MaxWireNodes {
+		return &RequestError{Status: 400, Err: fmt.Errorf("query plan has over %d operators", MaxWireNodes)}
+	}
+	return nil
+}
+
+// countNodes sizes a wire plan with an explicit stack (no recursion —
+// the tree shape is client-controlled), stopping as soon as the cap is
+// exceeded.
+func countNodes(root *Node) int {
+	if root == nil {
+		return 0
+	}
+	n := 0
+	stack := []*Node{root}
+	for len(stack) > 0 && n <= MaxWireNodes {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if nd == nil {
+			continue
+		}
+		n++
+		switch {
+		case nd.Where != nil:
+			stack = append(stack, nd.Where.Input)
+		case nd.Join != nil:
+			stack = append(stack, nd.Join.Left, nd.Join.Right)
+		case nd.JoinLess != nil:
+			stack = append(stack, nd.JoinLess.Left, nd.JoinLess.Right)
+		case nd.Project != nil:
+			stack = append(stack, nd.Project.Input)
+		case nd.GroupLineage != nil:
+			stack = append(stack, nd.GroupLineage.Input)
+		case nd.TopK != nil:
+			stack = append(stack, nd.TopK.Input)
+		case nd.Threshold != nil:
+			stack = append(stack, nd.Threshold.Input)
+		}
+	}
+	return n
 }
 
 // Budget is the wire form of engine.Budget.

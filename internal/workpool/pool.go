@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -93,7 +94,21 @@ func (p *Pool) SetMetrics(m *obs.Metrics) {
 // beyond the first are offloaded to new goroutines while pool tokens are
 // available; the remainder (always including the first task) run on the
 // calling goroutine.
-func (p *Pool) Run(tasks ...func()) {
+//
+// Panics are contained, never propagated off a pool goroutine (which
+// would kill the process): every task runs under a recover, the batch
+// always runs to completion, and the first panic — promoted to a
+// *fault.PanicError — is rethrown on the caller once all siblings have
+// returned. Run therefore never orphans a sibling: by the time the
+// panic resumes unwinding, no batch goroutine is left touching shared
+// state.
+func (p *Pool) Run(tasks ...func()) { p.RunAbort(nil, tasks...) }
+
+// RunAbort is Run with early sibling cancellation: the first task panic
+// additionally invokes abort (once, before siblings finish), so callers
+// that hand in a context cancel give ctx-polling siblings a way to stop
+// early instead of running their full course against a doomed batch.
+func (p *Pool) RunAbort(abort func(), tasks ...func()) {
 	p = p.or()
 	if len(tasks) == 0 {
 		return
@@ -101,10 +116,34 @@ func (p *Pool) Run(tasks ...func()) {
 	p.mu.Lock()
 	s, met := p.sem, p.met
 	p.mu.Unlock()
+	var (
+		panicOnce sync.Once
+		panicked  *fault.PanicError
+	)
+	contain := func(f func()) {
+		defer func() {
+			if v := recover(); v != nil {
+				pe, first := fault.Promote(v, "workpool")
+				if first {
+					met.RecordPanicRecovered()
+				}
+				panicOnce.Do(func() {
+					panicked = pe
+					if abort != nil {
+						abort()
+					}
+				})
+			}
+		}()
+		f()
+	}
 	if cap(s) == 0 || len(tasks) == 1 {
 		for _, t := range tasks {
 			met.RecordPoolInline()
-			t()
+			contain(t)
+		}
+		if panicked != nil {
+			panic(panicked)
 		}
 		return
 	}
@@ -118,16 +157,19 @@ func (p *Pool) Run(tasks ...func()) {
 				defer wg.Done()
 				defer func() { <-s }()
 				defer met.RecordPoolSpawnDone()
-				f()
+				contain(f)
 			}(t)
 		default:
 			met.RecordPoolInline()
-			t()
+			contain(t)
 		}
 	}
 	met.RecordPoolInline()
-	tasks[0]()
+	contain(tasks[0])
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }
 
 // Resize sets the Default pool's parallelism.

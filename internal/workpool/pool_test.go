@@ -3,6 +3,9 @@ package workpool
 import (
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 func TestRunExecutesAll(t *testing.T) {
@@ -52,5 +55,67 @@ func TestResizeFloorsAtOne(t *testing.T) {
 	Run(func() { ran = true })
 	if !ran {
 		t.Fatal("task did not run at parallelism 1")
+	}
+}
+
+// TestFaultPoolContainsPanics: a panicking task must not kill the
+// process or orphan siblings — every sibling completes, the first panic
+// is rethrown on the caller as a *fault.PanicError, and the abort hook
+// fires so ctx-polling siblings could stop early.
+func TestFaultPoolContainsPanics(t *testing.T) {
+	p := New(4)
+	met := obs.NewMetrics()
+	p.SetMetrics(met)
+
+	var ran atomic.Int32
+	aborted := make(chan struct{})
+	tasks := make([]func(), 8)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() {
+			if i == 3 {
+				panic("task 3 exploded")
+			}
+			ran.Add(1)
+		}
+	}
+	var pe *fault.PanicError
+	func() {
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Fatal("panic not rethrown on the caller")
+			}
+			var ok bool
+			if pe, ok = v.(*fault.PanicError); !ok {
+				t.Fatalf("rethrown value is %T, want *fault.PanicError", v)
+			}
+		}()
+		p.RunAbort(func() { close(aborted) }, tasks...)
+	}()
+	if got := ran.Load(); got != 7 {
+		t.Fatalf("%d of 7 healthy siblings ran to completion", got)
+	}
+	select {
+	case <-aborted:
+	default:
+		t.Fatal("abort hook did not fire")
+	}
+	if pe.Site != "workpool" || len(pe.Stack) == 0 {
+		t.Fatalf("panic not promoted with site/stack: %+v", pe)
+	}
+	if n := met.PanicsRecovered.Value(); n != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", n)
+	}
+
+	// Sequential pools contain too (inline path).
+	seq := New(1)
+	caught := false
+	func() {
+		defer func() { caught = recover() != nil }()
+		seq.Run(func() { panic("inline") }, func() { ran.Add(1) })
+	}()
+	if !caught || ran.Load() != 8 {
+		t.Fatalf("inline containment: caught=%v ran=%d", caught, ran.Load())
 	}
 }

@@ -132,6 +132,9 @@ func (q *Query) checkNode(n plan.Node) {
 		q.checkNode(t.Left)
 		q.checkNode(t.Right)
 	case *plan.ThetaJoin:
+		if t.Less == nil && t.Pred == nil {
+			q.fail("Query", "ThetaJoin has neither Less nor Pred — an adopted theta join must carry its condition")
+		}
 		q.checkNode(t.Left)
 		q.checkNode(t.Right)
 	case *plan.Project:

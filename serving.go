@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pdb"
 	"repro/internal/serve"
@@ -45,14 +47,20 @@ func (b *serveBackend) OpenSession() serve.SessionClient {
 	if frags == nil {
 		frags = NewFragCache(0)
 	}
-	return &serveClient{db: b.db, prob: NewProbCache(0), frags: frags}
+	return &serveClient{
+		db: b.db, prob: NewProbCache(0), frags: frags,
+		inject:   b.cfg.Inject,
+		watchdog: b.cfg.Watchdog,
+	}
 }
 
 // serveClient is serve.SessionClient over the façade.
 type serveClient struct {
-	db    *DB
-	prob  *ProbCache
-	frags *FragCache
+	db       *DB
+	prob     *ProbCache
+	frags    *FragCache
+	inject   *fault.Injector
+	watchdog time.Duration
 }
 
 func (c *serveClient) Run(ctx context.Context, req *serve.Request, p serve.RunParams, sink serve.Sink) (serve.RunOutcome, error) {
@@ -65,6 +73,12 @@ func (c *serveClient) Run(ctx context.Context, req *serve.Request, p serve.RunPa
 	}
 	if p.Eps > 0 {
 		opts = append(opts, WithEps(p.Eps))
+	}
+	if c.inject != nil {
+		opts = append(opts, WithInjector(c.inject))
+	}
+	if c.watchdog > 0 {
+		opts = append(opts, WithWatchdog(c.watchdog))
 	}
 	sess := c.db.Session(opts...)
 

@@ -1,7 +1,10 @@
 package repro
 
 import (
+	"time"
+
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/formula"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -27,6 +30,8 @@ type Session struct {
 	shards       int
 	trace        func(*obs.QueryTrace)
 	view         *obs.View
+	inject       *fault.Injector
+	watchdog     time.Duration
 }
 
 // SessionOption configures a Session at creation.
@@ -110,6 +115,27 @@ func WithTrace(fn func(*QueryTrace)) SessionOption {
 	return func(s *Session) { s.trace = fn }
 }
 
+// WithInjector arms deterministic fault injection for the session's
+// queries: inj fires at the named chaos sites (fault.SiteEvalStep and
+// friends) throughout evaluation. A nil or unconfigured injector is
+// free — the probes are nil-safe single atomic loads — so production
+// sessions simply omit the option. Injected failures surface through
+// the ordinary error plumbing: a per-answer error on batch paths, a
+// terminating error on streams, never a crash.
+func WithInjector(inj *fault.Injector) SessionOption {
+	return func(s *Session) { s.inject = inj }
+}
+
+// WithWatchdog arms the stuck-query watchdog on the session's ranked
+// queries: when no refinement grant tightens any answer's bounds for
+// longer than d, the run stops with fault.ErrStuck (and the registry's
+// watchdog_trips counter increments) instead of spinning forever. Zero
+// disables the watchdog; a healthy run under a generous deadline is
+// scheduled identically to an unwatched one.
+func WithWatchdog(d time.Duration) SessionOption {
+	return func(s *Session) { s.watchdog = d }
+}
+
 // Session opens a session on the DB. With no options: a fresh private
 // probability cache, no budget, exact evaluation.
 func (db *DB) Session(opts ...SessionOption) *Session {
@@ -153,9 +179,9 @@ func (s *Session) Evaluator() Evaluator {
 		return s.eval
 	}
 	if s.eps > 0 {
-		return engine.Approx{Eps: s.eps, Kind: s.kind, Budget: s.budget, Cache: s.cache, Frags: s.frags, Pool: s.db.pool, Metrics: s.db.metrics}
+		return engine.Approx{Eps: s.eps, Kind: s.kind, Budget: s.budget, Cache: s.cache, Frags: s.frags, Pool: s.db.pool, Metrics: s.db.metrics, Inject: s.inject}
 	}
-	return engine.Exact{Budget: s.budget, Cache: s.cache, Pool: s.db.pool, Metrics: s.db.metrics}
+	return engine.Exact{Budget: s.budget, Cache: s.cache, Pool: s.db.pool, Metrics: s.db.metrics, Inject: s.inject}
 }
 
 // planOptions translates the session knobs into planner options; every
@@ -167,5 +193,7 @@ func (s *Session) planOptions() plan.Options {
 		Shards:      s.shards,
 		Pool:        s.db.pool,
 		Metrics:     s.db.metrics,
+		Inject:      s.inject,
+		Watchdog:    s.watchdog,
 	}
 }
